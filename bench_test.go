@@ -1,0 +1,252 @@
+// Package repro_test is the benchmark harness: one testing.B benchmark
+// per table and figure of the paper, each regenerating the experiment and
+// reporting its headline metrics via b.ReportMetric, plus ablation
+// benchmarks for the design choices DESIGN.md calls out.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The absolute values are simulation outputs (see EXPERIMENTS.md for the
+// paper-vs-measured comparison); the benchmarks exist so that every
+// reported number can be regenerated with a single standard command.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/orgs"
+	"repro/internal/weighting"
+)
+
+var (
+	benchOnce sync.Once
+	benchLab  *experiments.Lab
+)
+
+func lab() *experiments.Lab {
+	benchOnce.Do(func() { benchLab = experiments.NewLab(42) })
+	return benchLab
+}
+
+// runExperiment benches one named experiment and surfaces its metrics.
+func runExperiment(b *testing.B, name string, keys ...string) {
+	b.Helper()
+	r, ok := experiments.RunnerByName(name)
+	if !ok {
+		b.Fatalf("unknown experiment %s", name)
+	}
+	l := lab()
+	var res *experiments.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = r.Run(l)
+	}
+	b.StopTimer()
+	for _, k := range keys {
+		if v, ok := res.Metrics[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	runExperiment(b, "Table1", "apnic_rows", "cdn_pairs")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	runExperiment(b, "Table2", "top1_users_M", "top5_in_cn")
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	runExperiment(b, "Figure1", "max_user_jump_pct")
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	runExperiment(b, "Figure2", "global_r2", "negative_r2")
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	runExperiment(b, "Figure3", "pair_overlap_pct", "users_cov_pct", "vol_cov_pct")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	runExperiment(b, "Table3", "pct_above_90", "median_pct")
+}
+
+func BenchmarkTable4(b *testing.B) {
+	runExperiment(b, "Table4", "strong_threshold")
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	runExperiment(b, "Figure4", "ua_principal_pct", "ua_complete_pct", "vol_principal_pct", "vol_complete_pct")
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	runExperiment(b, "Figure5", "no_slope", "in_slope", "mm_slope")
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	runExperiment(b, "Figure6", "beta", "n_above_ci")
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	runExperiment(b, "Figure7", "ru_frac", "de_frac")
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	runExperiment(b, "Figure8", "days_frac_over_02")
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	runExperiment(b, "Figure9", "trend_pearson")
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	runExperiment(b, "Figure10", "europe_gain")
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	runExperiment(b, "Figure11", "south_america", "southern_asia")
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	runExperiment(b, "Figure12", "pct_below_1", "pct_at_least_5")
+}
+
+func BenchmarkTable6(b *testing.B) {
+	runExperiment(b, "Table6", "eastern_asia_alloc", "northern_america_alloc")
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	runExperiment(b, "Figure13", "r2")
+}
+
+// ---- Ablations -------------------------------------------------------
+
+// BenchmarkAblationKendallFilter sweeps the small-org filter of the
+// Kendall statistic (the paper picks 0.5%).
+func BenchmarkAblationKendallFilter(b *testing.B) {
+	l := lab()
+	var at0, at05, at2 float64
+	for i := 0; i < b.N; i++ {
+		at0 = experiments.AblationKendallFilter(l, 0)
+		at05 = experiments.AblationKendallFilter(l, 0.005)
+		at2 = experiments.AblationKendallFilter(l, 0.02)
+	}
+	b.ReportMetric(at0, "rank_pct_nofilter")
+	b.ReportMetric(at05, "rank_pct_0.5pct")
+	b.ReportMetric(at2, "rank_pct_2pct")
+}
+
+// BenchmarkAblationBestDay compares naive snapshot selection against the
+// §5.1.2 best-day rule.
+func BenchmarkAblationBestDay(b *testing.B) {
+	l := lab()
+	var naive, adjusted float64
+	for i := 0; i < b.N; i++ {
+		naive, adjusted = experiments.AblationBestDay(l)
+	}
+	b.ReportMetric(naive, "ks_p90_naive")
+	b.ReportMetric(adjusted, "ks_p90_bestday")
+}
+
+// BenchmarkAblationBotFilter sweeps the CDN bot-score threshold
+// (the paper filters at >= 50).
+func BenchmarkAblationBotFilter(b *testing.B) {
+	l := lab()
+	var off, paper, strict float64
+	for i := 0; i < b.N; i++ {
+		off = experiments.AblationBotFilter(l, 0)
+		paper = experiments.AblationBotFilter(l, 50)
+		strict = experiments.AblationBotFilter(l, 95)
+	}
+	b.ReportMetric(off, "vol_kendall_nofilter")
+	b.ReportMetric(paper, "vol_kendall_t50")
+	b.ReportMetric(strict, "vol_kendall_t95")
+}
+
+// BenchmarkAblationSamplingRate sweeps the CDN request sampling rate
+// (the paper's CDN samples 1%).
+func BenchmarkAblationSamplingRate(b *testing.B) {
+	l := lab()
+	var r001, r01, r1 float64
+	for i := 0; i < b.N; i++ {
+		r001 = experiments.AblationSamplingRate(l, 0.0001)
+		r01 = experiments.AblationSamplingRate(l, 0.001)
+		r1 = experiments.AblationSamplingRate(l, 0.01)
+	}
+	b.ReportMetric(r001, "coverage_0.01pct")
+	b.ReportMetric(r01, "coverage_0.1pct")
+	b.ReportMetric(r1, "coverage_1pct")
+}
+
+// BenchmarkAblationMICGrid sweeps the MIC grid-budget exponent
+// (canonical 0.6).
+func BenchmarkAblationMICGrid(b *testing.B) {
+	l := lab()
+	var lo, mid, hi float64
+	for i := 0; i < b.N; i++ {
+		lo = experiments.AblationMICGrid(l, 0.4)
+		mid = experiments.AblationMICGrid(l, 0.6)
+		hi = experiments.AblationMICGrid(l, 0.8)
+	}
+	b.ReportMetric(lo, "mic_b0.4")
+	b.ReportMetric(mid, "mic_b0.6")
+	b.ReportMetric(hi, "mic_b0.8")
+}
+
+func BenchmarkExtDrivers(b *testing.B) {
+	runExperiment(b, "ExtDrivers", "in_top_gain_pp", "ch_top_loss_pp")
+}
+
+func BenchmarkExtTrafficModel(b *testing.B) {
+	runExperiment(b, "ExtTrafficModel", "in_sample_r2", "out_sample_r2")
+}
+
+// BenchmarkWeightingSchemes quantifies the paper's §1 motivation: how far
+// each AS-weighting tradition strays from the true user distribution
+// (total variation distance; lower is better).
+func BenchmarkWeightingSchemes(b *testing.B) {
+	l := lab()
+	d := experiments.Table2Day
+	truth := map[orgs.CountryOrg]float64{}
+	for _, p := range l.W.CountryOrgPairs(d) {
+		if u := l.W.TrueUsers(p.Country, p.Org, d); u > 0 {
+			truth[p] = u
+		}
+	}
+	apnicUsers := l.Report(d).OrgUsers(l.W.Registry)
+
+	var uniform, perCountry, apnicTV float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uniform = weighting.Evaluate(weighting.Uniform{}, truth).TotalVariation
+		perCountry = weighting.Evaluate(weighting.PerCountry{}, truth).TotalVariation
+		apnicTV = weighting.Evaluate(weighting.ByMeasure{Label: "apnic", Measure: apnicUsers}, truth).TotalVariation
+	}
+	b.ReportMetric(uniform, "tv_uniform")
+	b.ReportMetric(perCountry, "tv_per_country")
+	b.ReportMetric(apnicTV, "tv_apnic")
+}
+
+func BenchmarkExtProxies(b *testing.B) {
+	runExperiment(b, "ExtProxies", "apnic_users_spearman", "dns_queries_spearman", "path_popularity_spearman")
+}
+
+// BenchmarkAblationMinSamples sweeps APNIC's inclusion floor (the paper's
+// empirical observation is >= 120 samples per AS row).
+func BenchmarkAblationMinSamples(b *testing.B) {
+	l := lab()
+	var none, paper, strict float64
+	for i := 0; i < b.N; i++ {
+		none = experiments.AblationMinSamples(l, 1)
+		paper = experiments.AblationMinSamples(l, 120)
+		strict = experiments.AblationMinSamples(l, 1000)
+	}
+	b.ReportMetric(none, "pair_cov_floor1")
+	b.ReportMetric(paper, "pair_cov_floor120")
+	b.ReportMetric(strict, "pair_cov_floor1000")
+}

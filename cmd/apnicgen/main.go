@@ -1,0 +1,80 @@
+// Command apnicgen generates APNIC-style daily report CSVs from the
+// synthetic world.
+//
+// Usage:
+//
+//	apnicgen -seed 42 -from 2024-04-01 -to 2024-04-07 -out reports/
+//	apnicgen -date 2024-04-21        # single day to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/apnic"
+	"repro/internal/dates"
+	"repro/internal/itu"
+	"repro/internal/world"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "world seed")
+	date := flag.String("date", "", "single report date (YYYY-MM-DD), written to stdout")
+	from := flag.String("from", "", "range start (YYYY-MM-DD)")
+	to := flag.String("to", "", "range end (YYYY-MM-DD)")
+	step := flag.Int("step", 1, "days between reports in range mode")
+	out := flag.String("out", ".", "output directory for range mode")
+	flag.Parse()
+
+	w := world.MustBuild(world.Config{Seed: *seed})
+	gen := apnic.New(w, itu.New(w, *seed), *seed)
+
+	if *date != "" {
+		d, err := dates.Parse(*date)
+		if err != nil {
+			fatal(err)
+		}
+		if err := gen.Generate(d).WriteCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *from == "" || *to == "" {
+		fmt.Fprintln(os.Stderr, "need -date, or -from and -to")
+		os.Exit(2)
+	}
+	f, err := dates.Parse(*from)
+	if err != nil {
+		fatal(err)
+	}
+	t, err := dates.Parse(*to)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, d := range dates.Range(f, t, *step) {
+		path := filepath.Join(*out, fmt.Sprintf("apnic-%s.csv", d))
+		file, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		err = gen.Generate(d).WriteCSV(file)
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apnicgen:", err)
+	os.Exit(1)
+}

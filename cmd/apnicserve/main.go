@@ -1,0 +1,61 @@
+// Command apnicserve serves APNIC-style daily reports over HTTP, the way
+// the real dataset is published on stats.labs.apnic.net.
+//
+// Usage:
+//
+//	apnicserve -addr :8080 -seed 42 -from 2023-01-01 -to 2024-12-31
+//
+// Then:
+//
+//	curl http://localhost:8080/v1/dates
+//	curl http://localhost:8080/v1/reports/2024-04-21.csv | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/apnic"
+	"repro/internal/apnicweb"
+	"repro/internal/dates"
+	"repro/internal/itu"
+	"repro/internal/world"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Uint64("seed", 42, "world seed")
+	from := flag.String("from", "2013-11-01", "first served date")
+	to := flag.String("to", "2024-12-31", "last served date")
+	flag.Parse()
+
+	first, err := dates.Parse(*from)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apnicserve:", err)
+		os.Exit(2)
+	}
+	last, err := dates.Parse(*to)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apnicserve:", err)
+		os.Exit(2)
+	}
+
+	log.Printf("building world (seed %d)...", *seed)
+	w := world.MustBuild(world.Config{Seed: *seed})
+	gen := apnic.New(w, itu.New(w, *seed), *seed)
+	srv := apnicweb.NewServer(gen, first, last)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("serving %s..%s on %s", first, last, *addr)
+	if err := httpSrv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Command apnicval is the released artifact: it runs the paper's
+// reliability checks (§5) against the APNIC dataset for one or all
+// countries and prints a verdict per country.
+//
+// Usage:
+//
+//	apnicval -date 2024-08-09 -country RU
+//	apnicval -date 2024-08-09            # all countries, summary table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dates"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "world seed")
+	dateStr := flag.String("date", "2024-08-09", "date to validate (YYYY-MM-DD)")
+	country := flag.String("country", "", "single country (default: all)")
+	flag.Parse()
+
+	d, err := dates.Parse(*dateStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apnicval:", err)
+		os.Exit(2)
+	}
+	lab := experiments.NewLab(*seed)
+
+	if *country != "" {
+		rep := experiments.RunCountryChecks(lab, *country, d)
+		fmt.Printf("%s on %s: %s\n\n", *country, d, rep.Verdict)
+		for _, c := range rep.Checks {
+			status := "PASS"
+			if !c.Passed {
+				status = "FAIL"
+			}
+			fmt.Printf("  [%s] %-20s %s\n", status, c.Name, c.Detail)
+		}
+		if rep.Verdict != core.Reliable {
+			os.Exit(1)
+		}
+		return
+	}
+
+	reports := experiments.CheckAll(lab, d)
+	ccs := make([]string, 0, len(reports))
+	for cc := range reports {
+		ccs = append(ccs, cc)
+	}
+	sort.Slice(ccs, func(i, j int) bool {
+		if reports[ccs[i]].Verdict != reports[ccs[j]].Verdict {
+			return reports[ccs[i]].Verdict > reports[ccs[j]].Verdict
+		}
+		return ccs[i] < ccs[j]
+	})
+	var rows [][]string
+	counts := map[core.Verdict]int{}
+	for _, cc := range ccs {
+		rep := reports[cc]
+		counts[rep.Verdict]++
+		if rep.Verdict == core.Reliable {
+			continue // table lists only countries needing attention
+		}
+		var failed string
+		for _, c := range rep.Checks {
+			if !c.Passed {
+				if failed != "" {
+					failed += ", "
+				}
+				failed += c.Name
+			}
+		}
+		rows = append(rows, []string{cc, rep.Verdict.String(), failed})
+	}
+	fmt.Printf("APNIC reliability on %s: %d reliable, %d caution, %d unreliable\n\n",
+		d, counts[core.Reliable], counts[core.Caution], counts[core.Unreliable])
+	fmt.Println(report.Table([]string{"Country", "Verdict", "Failed checks"}, rows))
+
+	if guidance := core.Recommend(reports); len(guidance) > 0 {
+		fmt.Println("recommendations:")
+		for _, g := range guidance {
+			fmt.Printf("\n  [%s] %v\n  %s\n", g.Check, g.Countries, g.Advice)
+		}
+	}
+}

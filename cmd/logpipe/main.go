@@ -1,0 +1,88 @@
+// Command logpipe demonstrates the raw CDN request-log pipeline: it can
+// emit synthetic log lines for a country and day (mode=sample), or read
+// log lines from stdin and aggregate them to per-(country, org) stats the
+// way the paper's CDN pipeline does (mode=aggregate).
+//
+// Round trip:
+//
+//	logpipe -mode sample -country FR -per-org 500 | logpipe -mode aggregate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cdnlog"
+	"repro/internal/dates"
+	"repro/internal/report"
+	"repro/internal/world"
+)
+
+func main() {
+	mode := flag.String("mode", "sample", "sample | aggregate")
+	seed := flag.Uint64("seed", 42, "world seed")
+	country := flag.String("country", "FR", "country to sample")
+	dateStr := flag.String("date", "2024-04-21", "log day")
+	perOrg := flag.Int("per-org", 200, "records per organization (sample mode)")
+	botThreshold := flag.Int("bot-threshold", 50, "bot score filter (aggregate mode)")
+	flag.Parse()
+
+	d, err := dates.Parse(*dateStr)
+	if err != nil {
+		fatal(err)
+	}
+	w := world.MustBuild(world.Config{Seed: *seed})
+
+	switch *mode {
+	case "sample":
+		s := cdnlog.NewSampler(w, *seed)
+		n, err := s.WriteDay(os.Stdout, *country, d, *perOrg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "logpipe: wrote %d records for %s on %s\n", n, *country, d)
+
+	case "aggregate":
+		agg := cdnlog.NewAggregator(w.DB, w.Registry, *botThreshold)
+		parsed, err := agg.ReadFrom(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "logpipe: parse warnings:", err)
+		}
+		stats := agg.Stats()
+		keys := make([]string, 0, len(stats))
+		byKey := map[string]*cdnlog.PairStats{}
+		for k, st := range stats {
+			id := k.Country + "/" + k.Org
+			keys = append(keys, id)
+			byKey[id] = st
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			return byKey[keys[i]].Requests > byKey[keys[j]].Requests
+		})
+		var rows [][]string
+		for _, id := range keys {
+			st := byKey[id]
+			rows = append(rows, []string{
+				id,
+				report.Count(st.Requests),
+				report.Count(st.Bots),
+				fmt.Sprintf("%d", st.UserAgents()),
+				report.Count(st.Bytes),
+			})
+		}
+		fmt.Printf("parsed %d records (%d unrouted, %d unassigned)\n\n",
+			parsed, agg.Unrouted(), agg.Unassigned())
+		fmt.Println(report.Table([]string{"country/org", "human req", "bot req", "distinct UAs", "bytes"}, rows))
+
+	default:
+		fmt.Fprintf(os.Stderr, "logpipe: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "logpipe:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command worldgen builds the synthetic ground-truth world and dumps its
+// structure: per-country markets, organizations with sibling ASes, user
+// counts, and announced IP space.
+//
+// Usage:
+//
+//	worldgen -seed 42 -country FR -date 2024-04-21
+//	worldgen -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"sort"
+
+	"repro/internal/dates"
+	"repro/internal/netdb"
+	"repro/internal/report"
+	"repro/internal/world"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "world seed")
+	country := flag.String("country", "", "dump one country's market")
+	dateStr := flag.String("date", "2024-04-21", "reference date")
+	summary := flag.Bool("summary", false, "print world summary only")
+	routes := flag.Bool("routes", false, "also dump announced prefixes for the country")
+	flag.Parse()
+
+	d, err := dates.Parse(*dateStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worldgen:", err)
+		os.Exit(2)
+	}
+	w := world.MustBuild(world.Config{Seed: *seed})
+
+	if *summary || *country == "" {
+		fmt.Printf("world seed=%d: %d countries, %d orgs, %d announced prefixes\n",
+			*seed, len(w.Countries()), w.Registry.Len(), w.DB.Len())
+		var rows [][]string
+		for _, cc := range w.Countries() {
+			m := w.Market(cc)
+			rows = append(rows, []string{
+				cc, m.Country.Name,
+				report.Count(int64(w.TotalUsers(cc, d))),
+				fmt.Sprintf("%d", len(m.ActiveEntries(d))),
+			})
+		}
+		fmt.Println(report.Table([]string{"CC", "Country", "Internet users", "Active orgs"}, rows))
+		if *country == "" {
+			return
+		}
+	}
+
+	m := w.Market(*country)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "worldgen: unknown country %q\n", *country)
+		os.Exit(2)
+	}
+	entries := m.ActiveEntries(d)
+	sort.Slice(entries, func(i, j int) bool {
+		return w.TrueUsers(*country, entries[i].Org.ID, d) > w.TrueUsers(*country, entries[j].Org.ID, d)
+	})
+	var rows [][]string
+	for _, e := range entries {
+		users := w.TrueUsers(*country, e.Org.ID, d)
+		rows = append(rows, []string{
+			e.Org.ID, e.Org.Name, e.Org.Type.String(),
+			report.Count(int64(users)),
+			report.F(100*w.Share(*country, e.Org.ID, d), 2) + "%",
+			fmt.Sprintf("%d", len(e.Org.ASNs)),
+		})
+	}
+	fmt.Printf("%s (%s) on %s — %s Internet users\n\n", m.Country.Name, *country, d,
+		report.Count(int64(w.TotalUsers(*country, d))))
+	fmt.Println(report.Table([]string{"Org", "Name", "Type", "Users", "Share", "ASNs"}, rows))
+
+	if *routes {
+		fmt.Println("announced prefixes:")
+		w.DB.Walk(func(p netip.Prefix, r netdb.Route) bool {
+			if r.RegisteredCountry == *country {
+				fmt.Printf("  %-18v AS%-7d true-country=%s\n", p, r.ASN, r.TrueCountry)
+			}
+			return true
+		})
+	}
+}

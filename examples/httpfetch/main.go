@@ -1,0 +1,70 @@
+// HTTP fetch: run the dataset server and a client in one process, the way
+// a research pipeline consumes the real dataset from stats.labs.apnic.net:
+// discover the served date range, download a week of daily CSVs, build an
+// archive, and extract a per-AS time series.
+//
+//	go run ./examples/httpfetch
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/apnic"
+	"repro/internal/apnicweb"
+	"repro/internal/dates"
+	"repro/internal/itu"
+	"repro/internal/world"
+)
+
+func main() {
+	// Server side: build the world and serve reports on a loopback port.
+	w := world.MustBuild(world.Config{Seed: 1})
+	gen := apnic.New(w, itu.New(w, 1), 1)
+	srv := apnicweb.NewServer(gen, dates.New(2024, 4, 1), dates.New(2024, 4, 30))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving the APNIC dataset on", base)
+
+	// Client side: discover the range, fetch a week, build an archive.
+	client := &apnicweb.Client{BaseURL: base}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	first, last, err := client.Dates(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server offers %s .. %s\n", first, last)
+
+	archive := apnic.NewArchive()
+	for _, d := range dates.Range(first, first.AddDays(6), 1) {
+		rep, err := client.Report(ctx, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		archive.Add(rep)
+		fmt.Printf("fetched %s: %d rows\n", d, len(rep.Rows))
+	}
+
+	// Analysis side: the top German AS's users and samples over the week.
+	asns := archive.ASNsIn("DE")
+	if len(asns) == 0 {
+		log.Fatal("no German ASes in the archive")
+	}
+	fmt.Printf("\ntop German AS%d over the fetched week:\n", asns[0])
+	for _, p := range archive.Series("DE", asns[0]) {
+		fmt.Printf("  %s  users=%.0f  samples=%d\n", p.Date, p.Users, p.Samples)
+	}
+}

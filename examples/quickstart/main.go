@@ -1,0 +1,53 @@
+// Quickstart: build a synthetic world, generate one day of the APNIC
+// dataset and the CDN's view of the same day, compare them with the
+// validation toolkit, and run the reliability checks for one country.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dates"
+	"repro/internal/experiments"
+	"repro/internal/orgs"
+)
+
+func main() {
+	// A Lab bundles a seeded ground-truth world with every dataset
+	// simulator. Everything downstream is deterministic in the seed.
+	lab := experiments.NewLab(1)
+	day := dates.New(2024, 4, 21)
+
+	// 1. The APNIC dataset for one day.
+	rep := lab.Report(day)
+	fmt.Printf("APNIC report %s: %d (country, AS) rows\n", day, len(rep.Rows))
+	top := rep.Rows[0]
+	fmt.Printf("largest network: %s in %s with %.1fM estimated users (%.1f%% of country)\n\n",
+		top.ASName, top.CC, top.Users/1e6, top.PctCountry)
+
+	// 2. The CDN's view of the same day.
+	snap := lab.Snapshot(day)
+	fmt.Printf("CDN snapshot %s: %d (country, org) pairs\n\n", day, len(snap.Stats))
+
+	// 3. How well do they agree in France?
+	apnicShares := orgs.CountryShares(rep.OrgUsers(lab.W.Registry), "FR")
+	agreement := core.CompareShares(apnicShares, snap.UAShares("FR"))
+	fmt.Printf("France agreement: %s (Pearson %.2f, Kendall %.2f, slope %.2f)\n\n",
+		agreement.Level, agreement.Pearson, agreement.Kendall, agreement.Slope)
+
+	// 4. The released artifact: should you trust APNIC's numbers for
+	// Russia on this day?
+	for _, cc := range []string{"FR", "RU"} {
+		check := experiments.RunCountryChecks(lab, cc, day)
+		fmt.Printf("reliability checks for %s: %s\n", cc, check.Verdict)
+		for _, c := range check.Checks {
+			status := "pass"
+			if !c.Passed {
+				status = "FAIL"
+			}
+			fmt.Printf("  %-4s %-20s %s\n", status, c.Name, c.Detail)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/apnic"
+	"repro/internal/cdnlog"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/orgs"
+	"repro/internal/weighting"
+)
+
+// TestEndToEndPipeline exercises the full stack in one flow: world →
+// APNIC CSV round trip → CDN raw-log round trip → agreement analysis →
+// artifact checks → weighting, all on the shared benchmark lab.
+func TestEndToEndPipeline(t *testing.T) {
+	l := lab()
+	day := experiments.PrimaryCDNDay
+
+	// APNIC: generate → CSV → parse → aggregate.
+	rep := l.Report(day)
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := apnic.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apnicUsers := parsed.OrgUsers(l.W.Registry)
+	if len(apnicUsers) < 500 {
+		t.Fatalf("only %d (country, org) pairs after CSV round trip", len(apnicUsers))
+	}
+
+	// CDN: raw logs → pipe → aggregation, consistent with attribution.
+	sampler := cdnlog.NewSampler(l.W, l.Seed)
+	var logBuf bytes.Buffer
+	written, err := sampler.WriteDay(&logBuf, "DE", day, 100)
+	if err != nil || written == 0 {
+		t.Fatalf("log sampling failed: %d records, %v", written, err)
+	}
+	agg := cdnlog.NewAggregator(l.W.DB, l.W.Registry, 50)
+	if _, err := agg.ReadFrom(&logBuf); err != nil {
+		t.Fatal(err)
+	}
+	for k := range agg.Stats() {
+		if k.Country != "DE" {
+			t.Fatalf("log record attributed outside DE: %v", k)
+		}
+	}
+
+	// Agreement between the two pipelines for Germany.
+	snap := l.Snapshot(day)
+	res := core.CompareShares(orgs.CountryShares(apnicUsers, "DE"), snap.UAShares("DE"))
+	if res.Level < core.PrincipalOrgAgreement {
+		t.Fatalf("Germany agreement only %v", res.Level)
+	}
+
+	// Reliability verdicts for a clean and a distorted country.
+	if v := experiments.RunCountryChecks(l, "DE", day).Verdict; v != core.Reliable {
+		t.Errorf("Germany verdict %v", v)
+	}
+	if v := experiments.RunCountryChecks(l, "TM", day).Verdict; v == core.Reliable {
+		t.Error("Turkmenistan should not be Reliable")
+	}
+
+	// Weighting: APNIC approximates the truth far better than uniform.
+	truth := map[orgs.CountryOrg]float64{}
+	for _, p := range l.W.CountryOrgPairs(day) {
+		if u := l.W.TrueUsers(p.Country, p.Org, day); u > 0 {
+			truth[p] = u
+		}
+	}
+	tvAPNIC := weighting.Evaluate(weighting.ByMeasure{Label: "apnic", Measure: apnicUsers}, truth).TotalVariation
+	tvUniform := weighting.Evaluate(weighting.Uniform{}, truth).TotalVariation
+	if tvAPNIC >= tvUniform/2 {
+		t.Errorf("APNIC TV %v not clearly better than uniform %v", tvAPNIC, tvUniform)
+	}
+}
+
+// TestShapeInvariantsAcrossSeeds rebuilds the whole ecosystem under two
+// fresh seeds and asserts the qualitative results the paper's story rests
+// on. Shapes must hold for any world, not just the default seed.
+func TestShapeInvariantsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed rebuild is slow")
+	}
+	for _, seed := range []uint64{101, 202} {
+		seed := seed
+		l := experiments.NewLab(seed)
+
+		// Figure 3's invariant: modest pair overlap, near-total weight.
+		f3 := experiments.Figure3(l)
+		if v := f3.Metrics["users_cov_pct"]; v < 90 {
+			t.Errorf("seed %d: user coverage %v", seed, v)
+		}
+		if v := f3.Metrics["pair_overlap_pct"]; v < 20 || v > 80 {
+			t.Errorf("seed %d: pair overlap %v", seed, v)
+		}
+
+		// Figure 4's invariant: UA agreement beats volume agreement.
+		f4 := experiments.Figure4(l)
+		if f4.Metrics["ua_rank_pct"] <= f4.Metrics["vol_rank_pct"] {
+			t.Errorf("seed %d: UA rank %v not above volume rank %v",
+				seed, f4.Metrics["ua_rank_pct"], f4.Metrics["vol_rank_pct"])
+		}
+
+		// Figure 6's invariant: elasticity below ~1 with Russia above CI.
+		f6 := experiments.Figure6(l)
+		if v := f6.Metrics["beta"]; v < 0.6 || v > 1.1 {
+			t.Errorf("seed %d: beta %v", seed, v)
+		}
+		if f6.Metrics["paper_outliers"] < 3 {
+			t.Errorf("seed %d: only %v paper outliers recovered", seed, f6.Metrics["paper_outliers"])
+		}
+	}
+}

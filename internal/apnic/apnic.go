@@ -1,0 +1,345 @@
+// Package apnic simulates the APNIC per-AS User Population dataset (§3.2):
+// a daily report of (Rank, AS, AS Name, CC, Estimated Users, % of Country,
+// % of Internet, Samples) rows derived from non-targeted ad impressions
+// normalized by ITU per-country Internet-user estimates.
+//
+// The measurement process modelled here follows the paper's description
+// and the biases it documents:
+//
+//   - Samples are ad impressions: proportional to each org's ad-reachable
+//     users (country ad reach × org ad factor × a persistent per-org bias),
+//     with Poisson counting noise and weekly ad-serving volatility.
+//   - IP-geolocated attribution: VPN egress users count toward the hub
+//     country (Norway), not their origin.
+//   - Estimated Users = country ITU estimate × the org's share of the
+//     country's samples — so an ITU anomaly moves every AS in the country.
+//   - Rows with fewer than MinSamples (empirically ≥120 in the paper,
+//     §4.2) are dropped, which is why APNIC misses the long tail of tiny
+//     networks the CDN still observes.
+//   - Event shocks: Google pausing ads in Russia (March 2022) and
+//     government shutdown days (Myanmar) suppress sampling.
+package apnic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dates"
+	"repro/internal/itu"
+	"repro/internal/orgs"
+	"repro/internal/rng"
+	"repro/internal/world"
+)
+
+// DefaultSampleRate is the mean ad impressions per ad-reachable user per
+// 60-day window. Calibrated against the paper's Table 2, where India's
+// largest AS shows ≈278M estimated users and ≈8.4M window samples.
+const DefaultSampleRate = 0.034
+
+// DefaultMinSamples is the empirical inclusion floor the paper observed.
+const DefaultMinSamples = 120
+
+// russiaAdsPaused is when Google paused ads in Russia (§3.2, §4.4).
+var russiaAdsPaused = dates.New(2022, 3, 10)
+
+// Generator produces daily APNIC-style reports over a world.
+type Generator struct {
+	W   *world.World
+	ITU *itu.Estimator
+
+	// SampleRate is impressions per ad-reachable user per window.
+	SampleRate float64
+	// MinSamples is the per-AS inclusion floor.
+	MinSamples int64
+	// Window is the moving-window length in days (APNIC uses 60).
+	Window int
+
+	root *rng.Stream
+}
+
+// New returns a generator with the paper-calibrated defaults.
+func New(w *world.World, ituEst *itu.Estimator, seed uint64) *Generator {
+	return &Generator{
+		W:          w,
+		ITU:        ituEst,
+		SampleRate: DefaultSampleRate,
+		MinSamples: DefaultMinSamples,
+		Window:     60,
+		root:       rng.New(seed).Split("apnic"),
+	}
+}
+
+// Row is one line of the daily report.
+type Row struct {
+	Rank        int     // 1-based rank by estimated users (global)
+	ASN         uint32  // autonomous system number
+	ASName      string  // display name
+	CC          string  // ISO country code
+	Users       float64 // estimated users of this AS in this country
+	PctCountry  float64 // percent of the country's Internet users
+	PctInternet float64 // percent of the world's Internet users
+	Samples     int64   // ad impressions in the window
+}
+
+// Report is one day's dataset.
+type Report struct {
+	Date   dates.Date
+	Window int
+	Rows   []Row
+}
+
+// adReach returns the effective country ad reach on a date, applying the
+// Russia ads pause.
+func (g *Generator) adReach(country string, d dates.Date) float64 {
+	c := g.W.Market(country).Country
+	reach := c.AdReach
+	if country == "RU" && !d.Before(russiaAdsPaused) {
+		reach *= 0.25
+	}
+	return reach
+}
+
+// windowNoise returns the residual multiplicative volatility of the
+// 60-day-averaged sample count for an org, drawn per (org, week) so that
+// consecutive days share most of their window.
+func (g *Generator) windowNoise(country, orgID string, d dates.Date) float64 {
+	c := g.W.Market(country).Country
+	wk := d.DayNumber() / 7
+	s := g.root.Split(fmt.Sprintf("vol/%s/%s/%d", country, orgID, wk))
+	return s.LogNormal(0, c.AdVolatility)
+}
+
+// shutdownFactor returns the fraction of window sampling surviving
+// government shutdowns: the window-average of the world's shared shutdown
+// realization — APNIC's 60-day smoothing blunts individual shutdown days.
+func (g *Generator) shutdownFactor(country string, d dates.Date) float64 {
+	return g.W.ShutdownWindowFactor(country, d, g.Window)
+}
+
+// OrgSamples returns the expected-plus-noise ad-impression count for one
+// (country, org) on a date, before the per-AS split and inclusion floor.
+func (g *Generator) OrgSamples(country, orgID string, d dates.Date) int64 {
+	e := g.W.Entry(country, orgID)
+	if e == nil {
+		return 0
+	}
+	apparent := g.W.APNICUsers(country, orgID, d)
+	mean := apparent * g.adReach(country, d) * e.AdFactor * e.APNICBias *
+		g.SampleRate * g.windowNoise(country, orgID, d) * g.shutdownFactor(country, d)
+	if mean <= 0 {
+		return 0
+	}
+	s := g.root.Split(fmt.Sprintf("poisson/%s/%s/%s", country, orgID, d))
+	return s.Poisson(mean)
+}
+
+// Generate produces the report for one day. Reports are independent: the
+// same (world, seed, date) always yields the same report regardless of
+// what was generated before.
+func (g *Generator) Generate(d dates.Date) *Report {
+	rep := &Report{Date: d, Window: g.Window}
+
+	type asSample struct {
+		asn     uint32
+		name    string
+		cc      string
+		samples int64
+	}
+	countrySamples := map[string]int64{}
+	var rows []asSample
+
+	for _, code := range g.W.Countries() {
+		m := g.W.Market(code)
+		for _, e := range m.ActiveEntries(d) {
+			total := g.OrgSamples(code, e.Org.ID, d)
+			if total == 0 {
+				continue
+			}
+			// Split the org total across sibling ASes by their fixed
+			// weights; the last AS takes the rounding remainder.
+			var assigned int64
+			for i, asn := range e.Org.ASNs {
+				var share int64
+				if i == len(e.Org.ASNs)-1 {
+					share = total - assigned
+				} else {
+					share = int64(float64(total) * e.ASNWeights[i])
+				}
+				assigned += share
+				if share < g.MinSamples {
+					continue
+				}
+				rows = append(rows, asSample{
+					asn:     asn,
+					name:    fmt.Sprintf("%s (AS%d)", e.Org.Name, asn),
+					cc:      code,
+					samples: share,
+				})
+				countrySamples[code] += share
+			}
+		}
+	}
+
+	worldITU := g.ITU.WorldTotal(d)
+	for _, r := range rows {
+		ctotal := countrySamples[r.cc]
+		if ctotal == 0 {
+			continue
+		}
+		ituUsers := g.ITU.Users(r.cc, d)
+		users := float64(r.samples) / float64(ctotal) * ituUsers
+		rep.Rows = append(rep.Rows, Row{
+			ASN:         r.asn,
+			ASName:      r.name,
+			CC:          r.cc,
+			Users:       users,
+			PctCountry:  100 * float64(r.samples) / float64(ctotal),
+			PctInternet: 100 * users / worldITU,
+			Samples:     r.samples,
+		})
+	}
+
+	sort.Slice(rep.Rows, func(i, j int) bool {
+		if rep.Rows[i].Users != rep.Rows[j].Users {
+			return rep.Rows[i].Users > rep.Rows[j].Users
+		}
+		return rep.Rows[i].ASN < rep.Rows[j].ASN
+	})
+	for i := range rep.Rows {
+		rep.Rows[i].Rank = i + 1
+	}
+	return rep
+}
+
+// OrgUsers aggregates a report's estimated users to (country, org) pairs
+// using the registry (§3.1).
+func (r *Report) OrgUsers(reg *orgs.Registry) map[orgs.CountryOrg]float64 {
+	byAS := make(map[orgs.CountryAS]float64, len(r.Rows))
+	for _, row := range r.Rows {
+		byAS[orgs.CountryAS{Country: row.CC, ASN: row.ASN}] += row.Users
+	}
+	return reg.Aggregate(byAS)
+}
+
+// OrgSamples aggregates a report's raw samples to (country, org) pairs.
+func (r *Report) OrgSamples(reg *orgs.Registry) map[orgs.CountryOrg]float64 {
+	byAS := make(map[orgs.CountryAS]float64, len(r.Rows))
+	for _, row := range r.Rows {
+		byAS[orgs.CountryAS{Country: row.CC, ASN: row.ASN}] += float64(row.Samples)
+	}
+	return reg.Aggregate(byAS)
+}
+
+// CountryUsers sums estimated users per country.
+func (r *Report) CountryUsers() map[string]float64 {
+	out := map[string]float64{}
+	for _, row := range r.Rows {
+		out[row.CC] += row.Users
+	}
+	return out
+}
+
+// CountrySamples sums raw samples per country.
+func (r *Report) CountrySamples() map[string]int64 {
+	out := map[string]int64{}
+	for _, row := range r.Rows {
+		out[row.CC] += row.Samples
+	}
+	return out
+}
+
+// TopOrgs returns a country's org IDs ordered by estimated users,
+// descending.
+func (r *Report) TopOrgs(reg *orgs.Registry, country string) []string {
+	users := orgs.CountryShares(r.OrgUsers(reg), country)
+	ids := make([]string, 0, len(users))
+	for id := range users {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if users[ids[i]] != users[ids[j]] {
+			return users[ids[i]] > users[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// CountryTotals computes one country's total window samples and ITU-scaled
+// estimated users on a date without generating the full world report.
+// The best-day selection rule (§5.1.2) scans 60 days per country, and this
+// keeps that scan cheap. Totals include only ASes above the inclusion
+// floor, like the published dataset.
+func (g *Generator) CountryTotals(country string, d dates.Date) (samples int64, users float64) {
+	m := g.W.Market(country)
+	if m == nil {
+		return 0, 0
+	}
+	for _, e := range m.ActiveEntries(d) {
+		total := g.OrgSamples(country, e.Org.ID, d)
+		if total == 0 {
+			continue
+		}
+		var assigned int64
+		for i := range e.Org.ASNs {
+			var share int64
+			if i == len(e.Org.ASNs)-1 {
+				share = total - assigned
+			} else {
+				share = int64(float64(total) * e.ASNWeights[i])
+			}
+			assigned += share
+			if share >= g.MinSamples {
+				samples += share
+			}
+		}
+	}
+	if samples > 0 {
+		users = g.ITU.Users(country, d)
+	}
+	return samples, users
+}
+
+// CountryOrgShares computes one country's per-org share of estimated
+// users on a date without generating the full world report: shares within
+// a country equal the org's share of the country's included samples.
+// Orgs entirely below the inclusion floor are absent, like in the
+// published dataset.
+func (g *Generator) CountryOrgShares(country string, d dates.Date) map[string]float64 {
+	m := g.W.Market(country)
+	if m == nil {
+		return nil
+	}
+	out := map[string]float64{}
+	var total int64
+	for _, e := range m.ActiveEntries(d) {
+		orgTotal := g.OrgSamples(country, e.Org.ID, d)
+		if orgTotal == 0 {
+			continue
+		}
+		var assigned, included int64
+		for i := range e.Org.ASNs {
+			var share int64
+			if i == len(e.Org.ASNs)-1 {
+				share = orgTotal - assigned
+			} else {
+				share = int64(float64(orgTotal) * e.ASNWeights[i])
+			}
+			assigned += share
+			if share >= g.MinSamples {
+				included += share
+			}
+		}
+		if included > 0 {
+			out[e.Org.ID] = float64(included)
+			total += included
+		}
+	}
+	if total == 0 {
+		return map[string]float64{}
+	}
+	for k := range out {
+		out[k] /= float64(total)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package apnic
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dates"
+)
+
+// FuzzReadCSV exercises the report parser with arbitrary bytes: it must
+// never panic, and any report it accepts must re-serialize and re-parse
+// to the same row count.
+func FuzzReadCSV(f *testing.F) {
+	// Seed with a real report and a few corruptions of it.
+	var buf bytes.Buffer
+	rep := testGen().Generate(dates.New(2024, 4, 21))
+	rep.Rows = rep.Rows[:10]
+	_ = rep.WriteCSV(&buf)
+	valid := buf.String()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add("")
+	f.Add("# date,2024-01-01,window-days,60,,,,\n")
+	f.Add("Rank,AS,AS Name,CC,Estimated Users,% of Country,% of Internet,Samples\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		parsed, err := ReadCSV(bytes.NewBufferString(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := parsed.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted report failed to serialize: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("re-parse of serialized report failed: %v", err)
+		}
+		if len(again.Rows) != len(parsed.Rows) {
+			t.Fatalf("row count changed: %d -> %d", len(parsed.Rows), len(again.Rows))
+		}
+	})
+}

@@ -1,0 +1,284 @@
+// Package apnicweb serves and fetches APNIC-style daily reports over
+// HTTP, mirroring how the real dataset is published on
+// stats.labs.apnic.net and consumed by research pipelines. The server
+// exposes generated CSV reports with daily cache semantics; the client
+// downloads and parses them back into apnic.Report values.
+//
+// Endpoints:
+//
+//	GET /v1/reports/<YYYY-MM-DD>.csv           one day's report as CSV
+//	GET /v1/dates                              served date range, JSON
+//	GET /v1/series/AS<asn>?cc=XX&from=&to=&step=   per-AS time series, JSON
+//	    (the footnote-2 per-ASN view of stats.labs.apnic.net)
+//	GET /healthz                               liveness probe
+package apnicweb
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/apnic"
+	"repro/internal/dates"
+)
+
+// Server serves generated reports for a date range.
+type Server struct {
+	gen   *apnic.Generator
+	first dates.Date
+	last  dates.Date
+
+	mu      sync.Mutex
+	cache   map[dates.Date][]byte        // rendered CSV per day
+	reports map[dates.Date]*apnic.Report // generated reports per day
+}
+
+// NewServer returns a server for [first, last].
+func NewServer(gen *apnic.Generator, first, last dates.Date) *Server {
+	return &Server{
+		gen:     gen,
+		first:   first,
+		last:    last,
+		cache:   map[dates.Date][]byte{},
+		reports: map[dates.Date]*apnic.Report{},
+	}
+}
+
+// report returns the (cached) generated report for a day.
+func (s *Server) report(d dates.Date) *apnic.Report {
+	s.mu.Lock()
+	rep, ok := s.reports[d]
+	s.mu.Unlock()
+	if ok {
+		return rep
+	}
+	rep = s.gen.Generate(d)
+	s.mu.Lock()
+	s.reports[d] = rep
+	s.mu.Unlock()
+	return rep
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /v1/dates", s.handleDates)
+	mux.HandleFunc("GET /v1/reports/", s.handleReport)
+	mux.HandleFunc("GET /v1/series/", s.handleSeries)
+	return mux
+}
+
+// SeriesPoint is one day of the per-AS series response.
+type SeriesPoint struct {
+	Date    string  `json:"date"`
+	Users   float64 `json:"users"`
+	Samples int64   `json:"samples"`
+}
+
+// SeriesResponse is the /v1/series body.
+type SeriesResponse struct {
+	ASN     uint32        `json:"asn"`
+	Country string        `json:"cc"`
+	Points  []SeriesPoint `json:"points"`
+}
+
+// handleSeries serves the per-(country, AS) daily series — the view the
+// paper's footnote 2 links for Bouygues Telecom on the real site.
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/series/")
+	if !strings.HasPrefix(name, "AS") {
+		http.Error(w, "want /v1/series/AS<asn>", http.StatusNotFound)
+		return
+	}
+	asn64, err := strconv.ParseUint(strings.TrimPrefix(name, "AS"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad ASN", http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	cc := q.Get("cc")
+	if cc == "" {
+		http.Error(w, "missing cc parameter", http.StatusBadRequest)
+		return
+	}
+	from, to := s.first, s.last
+	if v := q.Get("from"); v != "" {
+		if from, err = dates.Parse(v); err != nil {
+			http.Error(w, "bad from date", http.StatusBadRequest)
+			return
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		if to, err = dates.Parse(v); err != nil {
+			http.Error(w, "bad to date", http.StatusBadRequest)
+			return
+		}
+	}
+	step := 1
+	if v := q.Get("step"); v != "" {
+		if step, err = strconv.Atoi(v); err != nil || step < 1 {
+			http.Error(w, "bad step", http.StatusBadRequest)
+			return
+		}
+	}
+	if from.Before(s.first) {
+		from = s.first
+	}
+	if to.After(s.last) {
+		to = s.last
+	}
+	const maxPoints = 120
+	if span := to.Sub(from)/step + 1; span > maxPoints {
+		http.Error(w, fmt.Sprintf("too many points (max %d); raise step or narrow the range", maxPoints), http.StatusBadRequest)
+		return
+	}
+
+	resp := SeriesResponse{ASN: uint32(asn64), Country: cc}
+	for _, d := range dates.Range(from, to, step) {
+		rep := s.report(d)
+		for _, row := range rep.Rows {
+			if row.ASN == resp.ASN && row.CC == cc {
+				resp.Points = append(resp.Points, SeriesPoint{
+					Date: d.String(), Users: row.Users, Samples: row.Samples,
+				})
+				break
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// DateRange is the /v1/dates response body.
+type DateRange struct {
+	First string `json:"first"`
+	Last  string `json:"last"`
+}
+
+func (s *Server) handleDates(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(DateRange{First: s.first.String(), Last: s.last.String()})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/reports/")
+	if !strings.HasSuffix(name, ".csv") {
+		http.Error(w, "want /v1/reports/<YYYY-MM-DD>.csv", http.StatusNotFound)
+		return
+	}
+	d, err := dates.Parse(strings.TrimSuffix(name, ".csv"))
+	if err != nil {
+		http.Error(w, "bad date", http.StatusBadRequest)
+		return
+	}
+	if d.Before(s.first) || d.After(s.last) {
+		http.Error(w, "date out of served range", http.StatusNotFound)
+		return
+	}
+	body, err := s.render(d)
+	if err != nil {
+		http.Error(w, "report generation failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Header().Set("Cache-Control", "public, max-age=86400")
+	w.Write(body)
+}
+
+func (s *Server) render(d dates.Date) ([]byte, error) {
+	s.mu.Lock()
+	body, ok := s.cache[d]
+	s.mu.Unlock()
+	if ok {
+		return body, nil
+	}
+	var b strings.Builder
+	if err := s.report(d).WriteCSV(&b); err != nil {
+		return nil, err
+	}
+	body = []byte(b.String())
+	s.mu.Lock()
+	s.cache[d] = body
+	s.mu.Unlock()
+	return body, nil
+}
+
+// Client fetches reports from a server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30s timeout.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Dates fetches the served date range.
+func (c *Client) Dates(ctx context.Context) (first, last dates.Date, err error) {
+	u, err := url.JoinPath(c.BaseURL, "/v1/dates")
+	if err != nil {
+		return first, last, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return first, last, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return first, last, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return first, last, fmt.Errorf("apnicweb: GET %s: %s", u, resp.Status)
+	}
+	var dr DateRange
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		return first, last, fmt.Errorf("apnicweb: decoding dates: %w", err)
+	}
+	if first, err = dates.Parse(dr.First); err != nil {
+		return first, last, err
+	}
+	last, err = dates.Parse(dr.Last)
+	return first, last, err
+}
+
+// Report fetches and parses one day's report.
+func (c *Client) Report(ctx context.Context, d dates.Date) (*apnic.Report, error) {
+	u, err := url.JoinPath(c.BaseURL, "/v1/reports/", d.String()+".csv")
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("apnicweb: GET %s: %s", u, resp.Status)
+	}
+	rep, err := apnic.ReadCSV(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("apnicweb: parsing %s: %w", d, err)
+	}
+	return rep, nil
+}

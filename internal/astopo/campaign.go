@@ -1,0 +1,157 @@
+package astopo
+
+import (
+	"sort"
+
+	"repro/internal/dates"
+	"repro/internal/geo"
+	"repro/internal/orgs"
+	"repro/internal/rng"
+	"repro/internal/world"
+)
+
+// Campaign is a traceroute measurement campaign: vantage points probe
+// destinations across the topology and the observed AS paths are folded
+// into per-organization path popularity — the [69]-style traffic proxy.
+type Campaign struct {
+	W     *world.World
+	Graph *Graph
+
+	// Vantages are the probing orgs. The default selection is biased
+	// toward Europe and North America, reproducing the source-location
+	// bias the paper cites.
+	Vantages []string
+
+	// HopLossProb is the per-hop probability that a traceroute fails to
+	// reveal an AS on the path (the paper's "inaccuracies").
+	HopLossProb float64
+
+	root *rng.Stream
+}
+
+// NewCampaign builds a campaign with nVantages probes chosen with the
+// canonical geographic bias: ~70% of vantage points in Europe and North
+// America, the rest spread across the remaining continents.
+func NewCampaign(w *world.World, g *Graph, seed uint64, nVantages int) *Campaign {
+	c := &Campaign{
+		W:           w,
+		Graph:       g,
+		HopLossProb: 0.08,
+		root:        rng.New(seed).Split("campaign"),
+	}
+	s := c.root.Split("vantages")
+
+	var west, rest []string
+	for _, cc := range w.Countries() {
+		m := w.Market(cc)
+		cont := m.Country.Continent()
+		for _, e := range m.ActiveEntries(dates.New(2023, 7, 20)) {
+			if !e.Org.Type.HostsUsers() || e.BaseWeight < 0.05 {
+				continue
+			}
+			if cont == geo.Europe || cont == geo.NorthAmerica {
+				west = append(west, e.Org.ID)
+			} else {
+				rest = append(rest, e.Org.ID)
+			}
+		}
+	}
+	sort.Strings(west)
+	sort.Strings(rest)
+	nWest := nVantages * 7 / 10
+	c.Vantages = append(pickDistinct(s, west, nWest), pickDistinct(s, rest, nVantages-nWest)...)
+	sort.Strings(c.Vantages)
+	return c
+}
+
+// Popularity is the campaign result: per-org weighted path appearances.
+type Popularity struct {
+	// Weight is the flow-weighted number of observed paths crossing the
+	// org, keyed by org ID.
+	Weight map[string]float64
+	// Traces is the number of traceroutes run.
+	Traces int
+	// LostHops counts AS hops hidden by measurement error.
+	LostHops int
+}
+
+// Run executes the campaign on a date: every vantage traces toward
+// destination orgs sampled in proportion to their traffic attractiveness
+// (content networks dominate), each trace weighted by the vantage org's
+// user population — approximating "paths weighted by popularity".
+func (c *Campaign) Run(d dates.Date, tracesPerVantage int) *Popularity {
+	pop := &Popularity{Weight: map[string]float64{}}
+
+	// Destination mix: orgs weighted by users × traffic intensity, the
+	// flow gravity model.
+	var dsts []string
+	var dstW []float64
+	for _, cc := range c.W.Countries() {
+		m := c.W.Market(cc)
+		for _, e := range m.ActiveEntries(d) {
+			if e.Org.Home != cc {
+				continue
+			}
+			attract := c.W.TrueUsers(cc, e.Org.ID, d) * e.TrafficPerUser
+			if attract <= 0 {
+				continue
+			}
+			dsts = append(dsts, e.Org.ID)
+			dstW = append(dstW, attract)
+		}
+	}
+	cum := rng.Cumulative(dstW)
+	if cum == nil {
+		return pop
+	}
+
+	for _, v := range c.Vantages {
+		paths := c.Graph.PathsFrom(v)
+		o, ok := c.W.Registry.ByID(v)
+		if !ok {
+			continue
+		}
+		weight := c.W.TrueUsers(o.Home, v, d)
+		if weight <= 0 {
+			weight = 1
+		}
+		s := c.root.Split("trace/" + v + "/" + d.String())
+		for t := 0; t < tracesPerVantage; t++ {
+			dst := dsts[s.Categorical(cum)]
+			path, ok := paths.To(dst)
+			if !ok {
+				continue
+			}
+			pop.Traces++
+			for _, hop := range path {
+				if s.Bool(c.HopLossProb) {
+					pop.LostHops++
+					continue // hop hidden by measurement error
+				}
+				pop.Weight[hop] += weight
+			}
+		}
+	}
+	return pop
+}
+
+// CountryShares projects the popularity onto one country's organizations
+// (by org home), normalized to sum to 1.
+func (p *Popularity) CountryShares(reg *orgs.Registry, country string) map[string]float64 {
+	out := map[string]float64{}
+	total := 0.0
+	for id, w := range p.Weight {
+		o, ok := reg.ByID(id)
+		if !ok || o.Home != country {
+			continue
+		}
+		out[id] = w
+		total += w
+	}
+	if total > 0 {
+		for k := range out {
+			out[k] /= total
+		}
+	}
+	return out
+}

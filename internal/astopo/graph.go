@@ -1,0 +1,220 @@
+// Package astopo implements the traceroute-based traffic-proxy baseline
+// the paper discusses in §7 (the "weighted graph of the Internet" of
+// Sanchez et al.): an AS-level topology with customer/provider/peer
+// relationships, Gao-Rexford valley-free path computation, and a
+// traceroute-campaign simulator that measures per-organization *path
+// popularity* as a proxy for traffic volume.
+//
+// The paper's assessment, which the simulation reproduces: the proxy
+// correlates with traffic but "requires massive traceroute campaigns,
+// which are known to potentially include inaccuracies and biases based on
+// the number and location of sources". Both failure modes are modelled —
+// hop loss in traces and a vantage-point distribution skewed toward
+// Europe and North America.
+package astopo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/orgs"
+	"repro/internal/rng"
+	"repro/internal/world"
+)
+
+// Rel is a business relationship between two nodes.
+type Rel int
+
+// Relationship kinds, from the perspective of the first node.
+const (
+	Customer Rel = iota // first pays second (c2p)
+	Peer                // settlement-free
+)
+
+// Graph is an AS-organization-level topology.
+type Graph struct {
+	providers map[string][]string // node -> providers (sorted)
+	customers map[string][]string // node -> customers (sorted)
+	peers     map[string][]string // node -> peers (sorted)
+	nodes     []string            // all nodes, sorted
+	tier1     []string
+}
+
+// newGraph returns an empty graph.
+func newGraph() *Graph {
+	return &Graph{
+		providers: map[string][]string{},
+		customers: map[string][]string{},
+		peers:     map[string][]string{},
+	}
+}
+
+func (g *Graph) addNode(id string) {
+	if _, ok := g.providers[id]; ok {
+		return
+	}
+	g.providers[id] = nil
+	g.customers[id] = nil
+	g.peers[id] = nil
+	g.nodes = append(g.nodes, id)
+}
+
+// AddEdge installs a relationship; for Customer, a pays b.
+func (g *Graph) AddEdge(a, b string, rel Rel) {
+	g.addNode(a)
+	g.addNode(b)
+	switch rel {
+	case Customer:
+		g.providers[a] = insertSorted(g.providers[a], b)
+		g.customers[b] = insertSorted(g.customers[b], a)
+	case Peer:
+		g.peers[a] = insertSorted(g.peers[a], b)
+		g.peers[b] = insertSorted(g.peers[b], a)
+	}
+}
+
+func insertSorted(s []string, v string) []string {
+	i := sort.SearchStrings(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Nodes returns all node IDs, sorted.
+func (g *Graph) Nodes() []string {
+	out := append([]string(nil), g.nodes...)
+	sort.Strings(out)
+	return out
+}
+
+// Tier1 returns the global transit clique.
+func (g *Graph) Tier1() []string { return append([]string(nil), g.tier1...) }
+
+// Degree returns (providers, customers, peers) counts for a node.
+func (g *Graph) Degree(id string) (prov, cust, peer int) {
+	return len(g.providers[id]), len(g.customers[id]), len(g.peers[id])
+}
+
+// BuildGraph synthesizes a topology over the world's organizations:
+//
+//   - a full-mesh clique of global tier-1 transit networks;
+//   - two or three regional transit networks per subregion, customers of
+//     several tier-1s and peering among neighbours;
+//   - every organization a customer of one to three of its region's
+//     transits, with the largest eyeballs multihoming to a tier-1 and
+//     cloud/CDN orgs peering broadly (their off-net footprint).
+func BuildGraph(w *world.World, seed uint64) *Graph {
+	g := newGraph()
+	s := rng.New(seed).Split("astopo")
+
+	// Tier-1 clique.
+	const nTier1 = 12
+	for i := 0; i < nTier1; i++ {
+		id := fmt.Sprintf("T1-%02d", i)
+		g.addNode(id)
+		g.tier1 = append(g.tier1, id)
+	}
+	for i := 0; i < nTier1; i++ {
+		for j := i + 1; j < nTier1; j++ {
+			g.AddEdge(g.tier1[i], g.tier1[j], Peer)
+		}
+	}
+
+	// Regional transits.
+	regional := map[geo.Subregion][]string{}
+	for _, region := range geo.AllSubregions() {
+		rs := s.Split("region/" + string(region))
+		n := 2 + rs.Intn(2)
+		for k := 0; k < n; k++ {
+			id := fmt.Sprintf("RT-%s-%d", compactRegion(region), k)
+			g.addNode(id)
+			regional[region] = append(regional[region], id)
+			// Customer of 2-4 tier-1s.
+			for _, t := range pickDistinct(rs, g.tier1, 2+rs.Intn(3)) {
+				g.AddEdge(id, t, Customer)
+			}
+		}
+		// Regionals peer among themselves.
+		rts := regional[region]
+		for i := 0; i < len(rts); i++ {
+			for j := i + 1; j < len(rts); j++ {
+				g.AddEdge(rts[i], rts[j], Peer)
+			}
+		}
+	}
+
+	// Attach every org.
+	for _, cc := range w.Countries() {
+		m := w.Market(cc)
+		region := m.Country.Subregion
+		rts := regional[region]
+		cs := s.Split("attach/" + cc)
+		for _, e := range m.Entries {
+			if e.Org.Home != cc {
+				continue
+			}
+			id := e.Org.ID
+			g.addNode(id)
+			for _, rt := range pickDistinct(cs, rts, 1+cs.Intn(minInt(3, len(rts)))) {
+				g.AddEdge(id, rt, Customer)
+			}
+			switch e.Org.Type {
+			case orgs.ConvergedAccess, orgs.MobileCarrier, orgs.FixedAccess:
+				// The biggest eyeballs multihome directly to a tier-1.
+				if e.BaseWeight > 0.5 && cs.Bool(0.6) {
+					g.AddEdge(id, g.tier1[cs.Intn(len(g.tier1))], Customer)
+				}
+			case orgs.CloudProvider, orgs.CDNProvider:
+				// Clouds peer broadly across regions (their off-nets).
+				allRegions := geo.AllSubregions()
+				for k := 0; k < 4; k++ {
+					r := allRegions[cs.Intn(len(allRegions))]
+					if len(regional[r]) > 0 {
+						g.AddEdge(id, regional[r][cs.Intn(len(regional[r]))], Peer)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(g.nodes)
+	return g
+}
+
+func compactRegion(r geo.Subregion) string {
+	out := make([]byte, 0, 8)
+	for i := 0; i < len(r); i++ {
+		c := r[i]
+		if c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, 'X')
+	}
+	return string(out)
+}
+
+func pickDistinct(s *rng.Stream, from []string, n int) []string {
+	if n >= len(from) {
+		return append([]string(nil), from...)
+	}
+	perm := s.Perm(len(from))
+	out := make([]string, 0, n)
+	for _, i := range perm[:n] {
+		out = append(out, from[i])
+	}
+	sort.Strings(out)
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

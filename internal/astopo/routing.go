@@ -1,0 +1,145 @@
+package astopo
+
+// Gao-Rexford valley-free routing: a path may climb customer→provider
+// links, cross at most one peer link, then descend provider→customer
+// links. Shortest valley-free paths from one source to every destination
+// are computed with a BFS over (node, phase) states.
+
+// Routing phases.
+const (
+	phaseUp   = 0 // still climbing c2p links
+	phasePeer = 1 // crossed the single allowed peer link
+	phaseDown = 2 // descending p2c links
+)
+
+// pathState tracks BFS bookkeeping for one (node, phase).
+type pathState struct {
+	dist   int
+	parent string // previous node
+	pphase int    // previous phase
+	seen   bool
+}
+
+// Paths holds shortest valley-free routes from one source.
+type Paths struct {
+	src    string
+	states map[string]*[3]pathState
+}
+
+// PathsFrom computes shortest valley-free paths from src to every
+// reachable node. Adjacency lists are sorted, so tie-breaking (and hence
+// every returned path) is deterministic.
+func (g *Graph) PathsFrom(src string) *Paths {
+	p := &Paths{src: src, states: map[string]*[3]pathState{}}
+	get := func(n string) *[3]pathState {
+		st := p.states[n]
+		if st == nil {
+			st = &[3]pathState{}
+			p.states[n] = st
+		}
+		return st
+	}
+	if _, ok := g.providers[src]; !ok {
+		return p
+	}
+
+	type item struct {
+		node  string
+		phase int
+	}
+	start := get(src)
+	start[phaseUp] = pathState{dist: 0, seen: true}
+	queue := []item{{src, phaseUp}}
+
+	push := func(n string, phase, dist int, parent string, pphase int) {
+		st := get(n)
+		if st[phase].seen {
+			return
+		}
+		st[phase] = pathState{dist: dist, parent: parent, pphase: pphase, seen: true}
+		queue = append(queue, item{n, phase})
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		d := get(cur.node)[cur.phase].dist
+		switch cur.phase {
+		case phaseUp:
+			for _, prov := range g.providers[cur.node] {
+				push(prov, phaseUp, d+1, cur.node, cur.phase)
+			}
+			for _, peer := range g.peers[cur.node] {
+				push(peer, phasePeer, d+1, cur.node, cur.phase)
+			}
+			for _, cust := range g.customers[cur.node] {
+				push(cust, phaseDown, d+1, cur.node, cur.phase)
+			}
+		case phasePeer, phaseDown:
+			for _, cust := range g.customers[cur.node] {
+				push(cust, phaseDown, d+1, cur.node, cur.phase)
+			}
+		}
+	}
+	return p
+}
+
+// To reconstructs the shortest valley-free path from the source to dst
+// (inclusive of both endpoints). ok is false if dst is unreachable.
+func (p *Paths) To(dst string) (path []string, ok bool) {
+	st := p.states[dst]
+	if st == nil {
+		return nil, false
+	}
+	// Best phase: smallest distance; prefer the later phase on ties
+	// (BGP prefers customer/peer routes — descending arrivals).
+	best := -1
+	for phase := 2; phase >= 0; phase-- {
+		if !st[phase].seen {
+			continue
+		}
+		if best == -1 || st[phase].dist < st[best].dist {
+			best = phase
+		}
+	}
+	if best == -1 {
+		return nil, false
+	}
+	// Walk parents back to the source.
+	var rev []string
+	node, phase := dst, best
+	for {
+		rev = append(rev, node)
+		if node == p.src && phase == phaseUp {
+			break
+		}
+		s := p.states[node]
+		if s == nil || !s[phase].seen {
+			return nil, false
+		}
+		node, phase = s[phase].parent, s[phase].pphase
+		if len(rev) > 64 {
+			return nil, false // defensive: malformed state
+		}
+	}
+	// Reverse.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// Dist returns the AS-hop distance to dst, or -1 if unreachable.
+func (p *Paths) Dist(dst string) int {
+	st := p.states[dst]
+	if st == nil {
+		return -1
+	}
+	best := -1
+	for phase := 0; phase < 3; phase++ {
+		if st[phase].seen && (best == -1 || st[phase].dist < best) {
+			best = st[phase].dist
+		}
+	}
+	return best
+}

@@ -1,0 +1,29 @@
+package cdnlog
+
+import (
+	"testing"
+)
+
+// FuzzParseRecord exercises the log-line parser with arbitrary inputs:
+// it must never panic, and anything it accepts must round-trip.
+func FuzzParseRecord(f *testing.F) {
+	f.Add("192.0.2.7\t48213\t88\tMozilla/5.0 (X11; Linux x86_64)")
+	f.Add("1.2.3.4\t0\t1\tcurl/8.4.0")
+	f.Add("255.255.255.255\t9223372036854775807\t99\t")
+	f.Add("garbage")
+	f.Add("a\tb\tc\td\te")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return
+		}
+		// Accepted records must survive a serialize/parse round trip.
+		again, err := ParseRecord(rec.String())
+		if err != nil {
+			t.Fatalf("round trip of accepted record failed: %v (line %q)", err, line)
+		}
+		if again != rec {
+			t.Fatalf("round trip changed record: %+v != %+v", again, rec)
+		}
+	})
+}

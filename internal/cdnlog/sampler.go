@@ -1,0 +1,126 @@
+package cdnlog
+
+import (
+	"io"
+	"net/netip"
+	"sort"
+
+	"repro/internal/dates"
+	"repro/internal/netdb"
+	"repro/internal/orgs"
+	"repro/internal/rng"
+	"repro/internal/ua"
+	"repro/internal/world"
+)
+
+// Sampler synthesizes raw log records for the world's client population:
+// each record's source address is drawn from the org's announced
+// prefixes, its User-Agent from the ua grammar, its bot score from the
+// org's bot mix. The sampler is the record-level counterpart of the
+// aggregate cdn generator.
+type Sampler struct {
+	w    *world.World
+	root *rng.Stream
+
+	// prefixes per ASN, indexed once from the routing table.
+	byASN map[uint32][]netip.Prefix
+}
+
+// NewSampler indexes the world's announced prefixes.
+func NewSampler(w *world.World, seed uint64) *Sampler {
+	s := &Sampler{
+		w:     w,
+		root:  rng.New(seed).Split("cdnlog"),
+		byASN: map[uint32][]netip.Prefix{},
+	}
+	w.DB.Walk(func(p netip.Prefix, r netdb.Route) bool {
+		s.byASN[r.ASN] = append(s.byASN[r.ASN], p)
+		return true
+	})
+	return s
+}
+
+// addrIn draws a uniform address inside a prefix.
+func addrIn(p netip.Prefix, stream *rng.Stream) netip.Addr {
+	base := netdb.AddrToUint32(p.Addr())
+	size := uint32(1) << (32 - p.Bits())
+	off := uint32(stream.Uint64()) % size
+	return netdb.AddrFromUint32(base + off)
+}
+
+// PairRecords synthesizes n records for one (country, org) pair on a day.
+// VPN pairs draw addresses from the egress block registered for the
+// record's true country, so the aggregator's geolocation step can be
+// verified end to end. It returns nil if the org announces no space.
+func (s *Sampler) PairRecords(pair orgs.CountryOrg, d dates.Date, n int) []Record {
+	o, ok := s.w.Registry.ByID(pair.Org)
+	if !ok {
+		return nil
+	}
+	// Candidate prefixes: those of the org's ASNs whose true country is
+	// the pair's country (for VPN orgs, the per-origin egress blocks).
+	var prefixes []netip.Prefix
+	for _, asn := range o.ASNs {
+		for _, p := range s.byASN[asn] {
+			r, _ := s.w.DB.Lookup(p.Addr())
+			if r.TrueCountry == pair.Country {
+				prefixes = append(prefixes, p)
+			}
+		}
+	}
+	if len(prefixes) == 0 {
+		return nil
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Addr().Less(prefixes[j].Addr()) })
+
+	e := s.w.Entry(o.Home, o.ID)
+	botShare := 0.1
+	mobileShare := 0.3
+	bytesMean := 50_000.0
+	if e != nil {
+		botShare = e.BotShare
+		mobileShare = e.MobileShare
+		bytesMean = 20_000 * e.TrafficPerUser
+	}
+
+	stream := s.root.Split("pair/" + pair.Country + "/" + pair.Org + "/" + d.String())
+	gen := ua.NewGenerator(stream.Split("ua"), mobileShare)
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		p := prefixes[stream.Intn(len(prefixes))]
+		rec := Record{
+			Client: addrIn(p, stream),
+			Bytes:  int64(stream.LogNormal(0, 0.8) * bytesMean),
+		}
+		if stream.Bool(botShare) {
+			rec.UserAgent = gen.GenerateBot()
+			rec.BotScore = 1 + stream.Intn(45) // bots score low
+		} else {
+			rec.UserAgent = gen.Generate()
+			rec.BotScore = 55 + stream.Intn(45) // humans score high
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// WriteDay streams records for every active pair of a country on a day,
+// perOrg records each, as newline-separated log lines.
+func (s *Sampler) WriteDay(w io.Writer, country string, d dates.Date, perOrg int) (written int64, err error) {
+	m := s.w.Market(country)
+	if m == nil {
+		return 0, nil
+	}
+	buf := make([]byte, 0, 512)
+	for _, e := range m.ActiveEntries(d) {
+		for _, rec := range s.PairRecords(orgs.CountryOrg{Country: country, Org: e.Org.ID}, d, perOrg) {
+			buf = rec.Append(buf[:0])
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
+				return written, err
+			}
+			written++
+		}
+	}
+	return written, nil
+}

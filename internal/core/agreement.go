@@ -1,0 +1,196 @@
+// Package core implements the paper's validation toolkit — the actual
+// contribution of the study. Every function operates on plain
+// (country, org)-keyed measurements, so the same code that validates the
+// simulated datasets here would validate the real APNIC dataset against
+// real CDN exports.
+//
+// The pieces map to the paper as follows:
+//
+//   - Agreement classification (this file): §4.3, Table 4, Figure 4.
+//   - Overlap / weighted coverage: §4.2, Figure 3, Tables 3 and 5.
+//   - Sample elasticity: §5.1.1, Figures 6 and 7.
+//   - Temporal stability and best-day selection: §5.1.2, Figure 8.
+//   - External consistency (M-Lab, IXP+MIC): §5.2 and §5.3, Figures 9-10.
+//   - Consolidation: §6, Figure 11.
+//   - Reliability checks (the released artifact): §5's synthesis.
+package core
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// StrongCorrelation is the paper's threshold for a "strong" correlation
+// (Table 4, following Schober et al.).
+const StrongCorrelation = 0.8
+
+// KendallMinShare is the paper's small-org filter: organizations below
+// 0.5% of a country's users in both datasets are removed before the
+// Kendall-Tau computation so the long tail cannot dominate rank order.
+const KendallMinShare = 0.005
+
+// AgreementLevel classifies how well two datasets agree on a country
+// (Table 4 / Figure 4's legend).
+type AgreementLevel int
+
+// Agreement levels, from worst to best.
+const (
+	NoInformation AgreementLevel = iota
+	NoAgreement
+	RankAgreement
+	PrincipalOrgAgreement
+	CompleteAgreement
+)
+
+func (l AgreementLevel) String() string {
+	switch l {
+	case NoInformation:
+		return "No Information"
+	case NoAgreement:
+		return "No Agreement"
+	case RankAgreement:
+		return "Rank Agreement"
+	case PrincipalOrgAgreement:
+		return "Principal Org Agreement"
+	case CompleteAgreement:
+		return "Complete Agreement"
+	default:
+		return "Unknown"
+	}
+}
+
+// Agreement is the full comparison result for one country.
+type Agreement struct {
+	Pearson float64 // linear correlation of shares
+	Kendall float64 // tau-b of shares after the small-org filter
+	Slope   float64 // linear regression coefficient (other ~ APNIC)
+	N       int     // organizations compared
+	Level   AgreementLevel
+}
+
+// CompareShares compares a country's APNIC share vector against another
+// dataset's share vector over the union of org keys (§4.3 methodology):
+// missing orgs count as zero, both sides are normalized, Pearson and the
+// regression use all orgs, Kendall removes sub-0.5% orgs.
+func CompareShares(apnic, other map[string]float64) Agreement {
+	return CompareSharesFiltered(apnic, other, KendallMinShare)
+}
+
+// CompareSharesFiltered is CompareShares with an explicit small-org
+// filter threshold for the Kendall statistic, exposed for the ablation
+// study of the paper's 0.5% choice.
+func CompareSharesFiltered(apnic, other map[string]float64, minShare float64) Agreement {
+	a, b, _ := stats.AlignShares(apnic, other)
+	a = stats.Normalize(a)
+	b = stats.Normalize(b)
+
+	var res Agreement
+	res.N = len(a)
+	if len(a) < 3 || stats.Sum(a) == 0 || stats.Sum(b) == 0 {
+		res.Pearson = math.NaN()
+		res.Kendall = math.NaN()
+		res.Slope = math.NaN()
+		res.Level = NoInformation
+		return res
+	}
+
+	res.Pearson = stats.Pearson(a, b)
+	fit := stats.LinearRegression(a, b)
+	res.Slope = fit.Slope
+
+	// Small-org filter for the rank statistic.
+	var ka, kb []float64
+	for i := range a {
+		if a[i] >= minShare || b[i] >= minShare {
+			ka = append(ka, a[i])
+			kb = append(kb, b[i])
+		}
+	}
+	res.Kendall = stats.KendallTau(ka, kb)
+
+	res.Level = classify(res)
+	return res
+}
+
+// classify applies Table 4's conditions.
+func classify(r Agreement) AgreementLevel {
+	if math.IsNaN(r.Pearson) && math.IsNaN(r.Kendall) {
+		return NoInformation
+	}
+	rank := !math.IsNaN(r.Kendall) && r.Kendall >= StrongCorrelation
+	principal := !math.IsNaN(r.Pearson) && r.Pearson >= StrongCorrelation && r.Slope > 0
+	complete := rank && principal && math.Abs(r.Slope-1) <= 0.35
+	switch {
+	case complete:
+		return CompleteAgreement
+	case principal:
+		return PrincipalOrgAgreement
+	case rank:
+		return RankAgreement
+	default:
+		return NoAgreement
+	}
+}
+
+// PrincipalOrgMatch reports whether both datasets name the same largest
+// organization — the headline statistic of §4.3 ("the APNIC and CDN
+// datasets agree on the principal org for 93.9% of countries").
+func PrincipalOrgMatch(apnic, other map[string]float64) bool {
+	ta, oka := argmax(apnic)
+	tb, okb := argmax(other)
+	return oka && okb && ta == tb
+}
+
+func argmax(m map[string]float64) (string, bool) {
+	best := math.Inf(-1)
+	id := ""
+	for k, v := range m {
+		if v > best || (v == best && (id == "" || k < id)) {
+			best, id = v, k
+		}
+	}
+	return id, id != "" && best > 0
+}
+
+// AgreementSummary aggregates per-country agreement levels into the
+// percentages the paper reports.
+type AgreementSummary struct {
+	Countries      int
+	PrincipalPct   float64 // countries with at least Principal agreement OR matching top org
+	RankPct        float64 // countries with Kendall >= 0.8
+	CompletePct    float64 // countries with Complete agreement
+	NoAgreementPct float64
+}
+
+// Summarize computes the paper's headline percentages from per-country
+// agreements plus the principal-org matches.
+func Summarize(agreements map[string]Agreement, principalMatch map[string]bool) AgreementSummary {
+	var s AgreementSummary
+	for cc, a := range agreements {
+		if a.Level == NoInformation {
+			continue
+		}
+		s.Countries++
+		if principalMatch[cc] {
+			s.PrincipalPct++
+		}
+		if !math.IsNaN(a.Kendall) && a.Kendall >= StrongCorrelation {
+			s.RankPct++
+		}
+		if a.Level == CompleteAgreement {
+			s.CompletePct++
+		}
+		if a.Level == NoAgreement {
+			s.NoAgreementPct++
+		}
+	}
+	if s.Countries > 0 {
+		n := float64(s.Countries)
+		s.PrincipalPct = 100 * s.PrincipalPct / n
+		s.RankPct = 100 * s.RankPct / n
+		s.CompletePct = 100 * s.CompletePct / n
+		s.NoAgreementPct = 100 * s.NoAgreementPct / n
+	}
+	return s
+}

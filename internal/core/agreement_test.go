@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/orgs"
+)
+
+func TestCompareSharesPerfect(t *testing.T) {
+	shares := map[string]float64{"a": 0.5, "b": 0.3, "c": 0.15, "d": 0.05}
+	res := CompareShares(shares, shares)
+	if res.Level != CompleteAgreement {
+		t.Fatalf("identical shares level = %v", res.Level)
+	}
+	if math.Abs(res.Pearson-1) > 1e-9 || math.Abs(res.Kendall-1) > 1e-9 || math.Abs(res.Slope-1) > 1e-9 {
+		t.Fatalf("identical shares: %+v", res)
+	}
+}
+
+func TestCompareSharesScrambled(t *testing.T) {
+	a := map[string]float64{"a": 0.5, "b": 0.3, "c": 0.15, "d": 0.05}
+	b := map[string]float64{"a": 0.05, "b": 0.15, "c": 0.3, "d": 0.5}
+	res := CompareShares(a, b)
+	if res.Level == CompleteAgreement || res.Level == PrincipalOrgAgreement {
+		t.Fatalf("reversed shares level = %v", res.Level)
+	}
+	if res.Kendall >= 0 {
+		t.Fatalf("reversed shares Kendall = %v, want negative", res.Kendall)
+	}
+}
+
+func TestCompareSharesMissingOrgsCountZero(t *testing.T) {
+	a := map[string]float64{"a": 0.7, "b": 0.3}
+	b := map[string]float64{"a": 0.7, "c": 0.3}
+	res := CompareShares(a, b)
+	if res.N != 3 {
+		t.Fatalf("union size = %d, want 3", res.N)
+	}
+	if res.Level == CompleteAgreement {
+		t.Fatal("shares disagreeing on half the mass cannot be Complete")
+	}
+}
+
+func TestCompareSharesNoInformation(t *testing.T) {
+	res := CompareShares(map[string]float64{"a": 1}, map[string]float64{"a": 1})
+	if res.Level != NoInformation {
+		t.Fatalf("two-org comparison level = %v, want NoInformation", res.Level)
+	}
+	res = CompareShares(nil, nil)
+	if res.Level != NoInformation {
+		t.Fatalf("empty comparison level = %v", res.Level)
+	}
+}
+
+func TestKendallSmallOrgFilter(t *testing.T) {
+	// Big orgs agree perfectly; a swarm of sub-0.5% orgs is reversed.
+	// With the filter, Kendall stays high.
+	a := map[string]float64{"big1": 0.6, "big2": 0.3}
+	b := map[string]float64{"big1": 0.6, "big2": 0.3}
+	for i := 0; i < 30; i++ {
+		id := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		a[id] = 0.0001 * float64(i+1)
+		b[id] = 0.0001 * float64(30-i)
+	}
+	res := CompareShares(a, b)
+	if res.Kendall < 0.5 {
+		t.Fatalf("Kendall with tail filter = %v; the tail should be removed", res.Kendall)
+	}
+}
+
+func TestClassifyPrincipalVsRank(t *testing.T) {
+	// Strong Pearson, positive slope, weak Kendall → Principal only.
+	r := Agreement{Pearson: 0.95, Kendall: 0.4, Slope: 0.9}
+	if got := classify(r); got != PrincipalOrgAgreement {
+		t.Errorf("classify = %v, want PrincipalOrgAgreement", got)
+	}
+	// Strong Kendall, weak Pearson → Rank only.
+	r = Agreement{Pearson: 0.5, Kendall: 0.9, Slope: 0.9}
+	if got := classify(r); got != RankAgreement {
+		t.Errorf("classify = %v, want RankAgreement", got)
+	}
+	// Both strong but slope far from 1 → Principal (not Complete).
+	r = Agreement{Pearson: 0.9, Kendall: 0.9, Slope: 3.0}
+	if got := classify(r); got != PrincipalOrgAgreement {
+		t.Errorf("classify = %v, want PrincipalOrgAgreement", got)
+	}
+	// Everything strong → Complete.
+	r = Agreement{Pearson: 0.9, Kendall: 0.85, Slope: 1.1}
+	if got := classify(r); got != CompleteAgreement {
+		t.Errorf("classify = %v, want CompleteAgreement", got)
+	}
+	// Nothing strong → None.
+	r = Agreement{Pearson: 0.3, Kendall: 0.2, Slope: 0.5}
+	if got := classify(r); got != NoAgreement {
+		t.Errorf("classify = %v, want NoAgreement", got)
+	}
+}
+
+func TestPrincipalOrgMatch(t *testing.T) {
+	a := map[string]float64{"x": 0.6, "y": 0.4}
+	b := map[string]float64{"x": 0.5, "y": 0.5 - 1e-9}
+	if !PrincipalOrgMatch(a, b) {
+		t.Error("same top org should match")
+	}
+	c := map[string]float64{"x": 0.4, "y": 0.6}
+	if PrincipalOrgMatch(a, c) {
+		t.Error("different top orgs should not match")
+	}
+	if PrincipalOrgMatch(nil, a) {
+		t.Error("empty dataset cannot match")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	agreements := map[string]Agreement{
+		"AA": {Pearson: 0.95, Kendall: 0.9, Slope: 1.0, Level: CompleteAgreement},
+		"BB": {Pearson: 0.9, Kendall: 0.3, Slope: 0.8, Level: PrincipalOrgAgreement},
+		"CC": {Pearson: 0.2, Kendall: 0.1, Slope: -0.5, Level: NoAgreement},
+		"DD": {Level: NoInformation},
+	}
+	match := map[string]bool{"AA": true, "BB": true, "CC": false}
+	s := Summarize(agreements, match)
+	if s.Countries != 3 {
+		t.Fatalf("countries = %d, want 3 (NoInformation excluded)", s.Countries)
+	}
+	if math.Abs(s.PrincipalPct-66.66) > 1 {
+		t.Errorf("principal pct = %v", s.PrincipalPct)
+	}
+	if math.Abs(s.CompletePct-33.33) > 1 {
+		t.Errorf("complete pct = %v", s.CompletePct)
+	}
+	if math.Abs(s.RankPct-33.33) > 1 {
+		t.Errorf("rank pct = %v", s.RankPct)
+	}
+	if math.Abs(s.NoAgreementPct-33.33) > 1 {
+		t.Errorf("no-agreement pct = %v", s.NoAgreementPct)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	for _, l := range []AgreementLevel{NoInformation, NoAgreement, RankAgreement, PrincipalOrgAgreement, CompleteAgreement} {
+		if l.String() == "" || l.String() == "Unknown" {
+			t.Errorf("level %d has bad string", l)
+		}
+	}
+}
+
+func TestComputeOverlap(t *testing.T) {
+	a := map[orgs.CountryOrg]float64{
+		{Country: "FR", Org: "x"}: 80,
+		{Country: "FR", Org: "y"}: 15,
+		{Country: "FR", Org: "z"}: 5, // APNIC-only
+	}
+	b := map[orgs.CountryOrg]float64{
+		{Country: "FR", Org: "x"}: 70,
+		{Country: "FR", Org: "y"}: 20,
+		{Country: "FR", Org: "w"}: 10, // CDN-only
+	}
+	o := ComputeOverlap(a, b)
+	if o.Both != 2 || o.AOnly != 1 || o.BOnly != 1 {
+		t.Fatalf("overlap counts = %+v", o)
+	}
+	if math.Abs(o.BothPctA-95) > 1e-9 {
+		t.Errorf("A coverage = %v, want 95", o.BothPctA)
+	}
+	if math.Abs(o.BothPctB-90) > 1e-9 {
+		t.Errorf("B coverage = %v, want 90", o.BothPctB)
+	}
+}
+
+func TestPerCountryCoverage(t *testing.T) {
+	a := map[orgs.CountryOrg]float64{
+		{Country: "FR", Org: "x"}: 1,
+	}
+	b := map[orgs.CountryOrg]float64{
+		{Country: "FR", Org: "x"}: 90,
+		{Country: "FR", Org: "y"}: 10,
+		{Country: "DE", Org: "q"}: 100, // country absent from a entirely
+	}
+	rows := PerCountryCoverage(a, b)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Country != "FR" || math.Abs(rows[0].Pct-90) > 1e-9 {
+		t.Errorf("FR row = %+v", rows[0])
+	}
+	if rows[1].Country != "DE" || rows[1].Pct != 0 {
+		t.Errorf("DE row = %+v", rows[1])
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Verdict is the bottom line of the reliability checks.
+type Verdict int
+
+// Verdicts.
+const (
+	Reliable Verdict = iota
+	Caution
+	Unreliable
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Reliable:
+		return "reliable"
+	case Caution:
+		return "caution"
+	default:
+		return "unreliable"
+	}
+}
+
+// CheckInput is everything the artifact checks need for one country —
+// all derivable from public data (the APNIC dataset itself plus M-Lab).
+type CheckInput struct {
+	Country string
+
+	// Samples and Users are the country's totals on the day under test.
+	Samples float64
+	Users   float64
+
+	// Elasticity is the global fit of §5.1.1, used to test whether the
+	// country's users-per-sample ratio is anomalous.
+	Elasticity ElasticityAnalysis
+
+	// RecentShares is the per-org share distribution on consecutive
+	// recent snapshots (e.g. 7 daily snapshots), oldest first, for the
+	// temporal-stability check.
+	RecentShares []map[string]float64
+
+	// MLabKendall is the Kendall-Tau between the APNIC and M-Lab org
+	// rankings for this country; NaN when M-Lab has no usable data.
+	MLabKendall float64
+}
+
+// CheckResult is one named check's outcome.
+type CheckResult struct {
+	Name   string
+	Passed bool
+	Detail string
+}
+
+// Report is the artifact's output for one country.
+type Report struct {
+	Country string
+	Checks  []CheckResult
+	Verdict Verdict
+}
+
+// Thresholds for the individual checks, exposed for ablation.
+var (
+	// MinCountrySamples is the floor below which a country's entire
+	// report is too thin to rescale meaningfully.
+	MinCountrySamples = 1000.0
+	// StabilityThreshold is the §5.1.2 alarm level: an org moving by
+	// more than this share of the country between consecutive snapshots.
+	StabilityThreshold = 0.2
+	// MLabAgreementThreshold is the §5.2 cross-check level.
+	MLabAgreementThreshold = 0.5
+)
+
+// RunChecks executes the paper's reliability checklist for one country:
+//
+//  1. Sample sufficiency — enough raw samples to rescale at all.
+//  2. Elasticity — the users-per-sample ratio sits inside the global
+//     95% prediction band (§5.1.1).
+//  3. Temporal stability — no org's share moved more than the threshold
+//     across recent snapshots (§5.1.2).
+//  4. M-Lab cross-check — public external data ranks orgs consistently
+//     (§5.2); skipped (passes vacuously) when M-Lab has no coverage.
+//
+// Verdict: all passed → Reliable; one failed → Caution; two or more →
+// Unreliable.
+func RunChecks(in CheckInput) Report {
+	rep := Report{Country: in.Country}
+	failures := 0
+	add := func(name string, passed bool, detail string) {
+		rep.Checks = append(rep.Checks, CheckResult{Name: name, Passed: passed, Detail: detail})
+		if !passed {
+			failures++
+		}
+	}
+
+	add("sample-sufficiency", in.Samples >= MinCountrySamples,
+		fmt.Sprintf("%.0f samples (floor %.0f)", in.Samples, MinCountrySamples))
+
+	elasticOK := !in.Elasticity.RatioAboveBound(in.Samples, in.Users)
+	add("elasticity-band", elasticOK,
+		fmt.Sprintf("users/sample ratio %.1f", ElasticityRatio(in.Users, in.Samples)))
+
+	maxMove := 0.0
+	for i := 1; i < len(in.RecentShares); i++ {
+		d := StabilityDistance(in.RecentShares[i-1], in.RecentShares[i])
+		if !math.IsNaN(d) && d > maxMove {
+			maxMove = d
+		}
+	}
+	add("temporal-stability", maxMove <= StabilityThreshold,
+		fmt.Sprintf("max consecutive share move %.3f (limit %.2f)", maxMove, StabilityThreshold))
+
+	if math.IsNaN(in.MLabKendall) {
+		add("mlab-crosscheck", true, "no M-Lab coverage; skipped")
+	} else {
+		add("mlab-crosscheck", in.MLabKendall >= MLabAgreementThreshold,
+			fmt.Sprintf("Kendall-Tau vs M-Lab %.2f (floor %.2f)", in.MLabKendall, MLabAgreementThreshold))
+	}
+
+	switch {
+	case failures == 0:
+		rep.Verdict = Reliable
+	case failures == 1:
+		rep.Verdict = Caution
+	default:
+		rep.Verdict = Unreliable
+	}
+	return rep
+}
+
+// Guidance is one actionable recommendation derived from check outcomes
+// across countries — the §2 goal of "clear guidelines for interpreting
+// the numbers the dataset provides".
+type Guidance struct {
+	Check     string   // failing check, or "overall"
+	Countries []string // affected countries, sorted
+	Advice    string
+}
+
+// adviceFor maps a failing check to the paper's remedy.
+var adviceFor = map[string]string{
+	"sample-sufficiency": "Too few raw samples to rescale: do not use per-AS estimates; treat the country as unmeasured or aggregate to the country level only.",
+	"elasticity-band":    "Each sample represents anomalously many users (§5.1.1): use the raw 'Samples' column instead of 'Estimated Users', and prefer dates chosen by the best-day rule.",
+	"temporal-stability": "Estimates moved sharply across recent days (§5.1.2): pick the day with the smallest users-per-sample ratio within the 60-day window before relying on a snapshot.",
+	"mlab-crosscheck":    "Public M-Lab rankings disagree (§5.2): expect weaker agreement with traffic-volume ground truth; validate against an additional source before weighting ASes.",
+}
+
+// Recommend turns per-country reports into the artifact's guideline
+// summary: which checks failed where, and what to do about each.
+func Recommend(reports map[string]Report) []Guidance {
+	byCheck := map[string][]string{}
+	var unreliable []string
+	for cc, rep := range reports {
+		for _, c := range rep.Checks {
+			if !c.Passed {
+				byCheck[c.Name] = append(byCheck[c.Name], cc)
+			}
+		}
+		if rep.Verdict == Unreliable {
+			unreliable = append(unreliable, cc)
+		}
+	}
+	var out []Guidance
+	for _, name := range []string{"sample-sufficiency", "elasticity-band", "temporal-stability", "mlab-crosscheck"} {
+		ccs := byCheck[name]
+		if len(ccs) == 0 {
+			continue
+		}
+		sort.Strings(ccs)
+		out = append(out, Guidance{Check: name, Countries: ccs, Advice: adviceFor[name]})
+	}
+	if len(unreliable) > 0 {
+		sort.Strings(unreliable)
+		out = append(out, Guidance{
+			Check:     "overall",
+			Countries: unreliable,
+			Advice:    "Multiple checks failed: exclude these countries from user-weighted analyses, or report results with and without them.",
+		})
+	}
+	return out
+}

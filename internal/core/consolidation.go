@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// OrgsToCover returns the number of organizations needed to cover the
+// given fraction of a country's estimated users (§6's metric with
+// frac = 0.95).
+func OrgsToCover(shares map[string]float64, frac float64) int {
+	vals := make([]float64, 0, len(shares))
+	keys := make([]string, 0, len(shares))
+	for k := range shares {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		vals = append(vals, shares[k])
+	}
+	return stats.CoverCount(vals, frac)
+}
+
+// ConsolidationChange is one country's Figure 11 value: the percentage
+// change in organizations-to-95% between the baseline year and a target
+// year. +100 means doubled; -50 means halved.
+type ConsolidationChange struct {
+	Country  string
+	Baseline int // orgs to 95% in the baseline year
+	Target   int // orgs to 95% in the target year
+	Pct      float64
+	// NoData marks countries where no day passed the elasticity check
+	// in one of the years — drawn black in the paper's maps.
+	NoData bool
+}
+
+// ConsolidationChanges computes Figure 11's values from per-year share
+// snapshots: baseline and target map country → per-org shares (already
+// selected with the best-day rule). Countries missing from either year
+// are reported with NoData.
+func ConsolidationChanges(baseline, target map[string]map[string]float64) []ConsolidationChange {
+	countries := map[string]bool{}
+	for cc := range baseline {
+		countries[cc] = true
+	}
+	for cc := range target {
+		countries[cc] = true
+	}
+	ccs := make([]string, 0, len(countries))
+	for cc := range countries {
+		ccs = append(ccs, cc)
+	}
+	sort.Strings(ccs)
+
+	out := make([]ConsolidationChange, 0, len(ccs))
+	for _, cc := range ccs {
+		b, okB := baseline[cc]
+		t, okT := target[cc]
+		ch := ConsolidationChange{Country: cc}
+		if !okB || !okT {
+			ch.NoData = true
+			out = append(out, ch)
+			continue
+		}
+		ch.Baseline = OrgsToCover(b, 0.95)
+		ch.Target = OrgsToCover(t, 0.95)
+		if ch.Baseline == 0 {
+			ch.NoData = true
+		} else {
+			ch.Pct = 100 * (float64(ch.Target)/float64(ch.Baseline) - 1)
+		}
+		out = append(out, ch)
+	}
+	return out
+}
+
+// Driver is one organization's contribution to a country's consolidation:
+// how much user share it gained (or lost) between two snapshots. §6's
+// future work is "identifying the key players driving access network
+// consolidation"; this is that analysis.
+type Driver struct {
+	Org    string
+	Before float64 // share in the baseline snapshot
+	After  float64 // share in the target snapshot
+	Delta  float64 // After − Before
+}
+
+// ConsolidationDrivers returns the organizations with the largest
+// absolute share changes between two per-org share snapshots, largest
+// gain first. Orgs absent from a snapshot count as zero share (entrants
+// and absorbed networks show up naturally).
+func ConsolidationDrivers(before, after map[string]float64, topN int) []Driver {
+	ids := map[string]bool{}
+	for id := range before {
+		ids[id] = true
+	}
+	for id := range after {
+		ids[id] = true
+	}
+	drivers := make([]Driver, 0, len(ids))
+	for id := range ids {
+		d := Driver{Org: id, Before: before[id], After: after[id]}
+		d.Delta = d.After - d.Before
+		drivers = append(drivers, d)
+	}
+	sort.Slice(drivers, func(i, j int) bool {
+		ai, aj := drivers[i].Delta, drivers[j].Delta
+		if ai != aj {
+			return ai > aj
+		}
+		return drivers[i].Org < drivers[j].Org
+	})
+	if topN > 0 && len(drivers) > topN {
+		drivers = drivers[:topN]
+	}
+	return drivers
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/orgs"
+	"repro/internal/stats"
+)
+
+// ElasticityPoint is one country's (samples, users) observation for the
+// log-log regression of §5.1.1 — by default the country's largest org.
+type ElasticityPoint struct {
+	Country string
+	Org     string
+	Samples float64
+	Users   float64
+}
+
+// TopOrgPoints extracts each country's top-K orgs by estimated users,
+// pairing their user estimates with their raw sample counts. K=1
+// reproduces Figure 6; the paper's footnote checks K ∈ {5, 10, 20} give
+// the same outliers because points within a country are colinear.
+func TopOrgPoints(users, samples map[orgs.CountryOrg]float64, k int) []ElasticityPoint {
+	perCountry := map[string][]ElasticityPoint{}
+	for key, u := range users {
+		s := samples[key]
+		if u <= 0 || s <= 0 {
+			continue
+		}
+		perCountry[key.Country] = append(perCountry[key.Country], ElasticityPoint{
+			Country: key.Country, Org: key.Org, Samples: s, Users: u,
+		})
+	}
+	var out []ElasticityPoint
+	countries := make([]string, 0, len(perCountry))
+	for cc := range perCountry {
+		countries = append(countries, cc)
+	}
+	sort.Strings(countries)
+	for _, cc := range countries {
+		pts := perCountry[cc]
+		sort.Slice(pts, func(i, j int) bool {
+			if pts[i].Users != pts[j].Users {
+				return pts[i].Users > pts[j].Users
+			}
+			return pts[i].Org < pts[j].Org
+		})
+		if len(pts) > k {
+			pts = pts[:k]
+		}
+		out = append(out, pts...)
+	}
+	return out
+}
+
+// ElasticityAnalysis is the fitted log-log relationship plus outliers.
+type ElasticityAnalysis struct {
+	Fit    stats.ElasticityFit
+	Points []ElasticityPoint
+	// AboveCI / BelowCI are the countries outside the 95% prediction
+	// band: above means each sample "weighs" unusually many users — the
+	// paper's signal of unreliable estimation.
+	AboveCI []string
+	BelowCI []string
+}
+
+// AnalyzeElasticity fits log10(users) = a + beta*log10(samples) at 95%
+// confidence over the given points (Figure 6).
+func AnalyzeElasticity(points []ElasticityPoint) ElasticityAnalysis {
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = p.Samples
+		ys[i] = p.Users
+	}
+	fit := stats.Elasticity(xs, ys, 0.95)
+	an := ElasticityAnalysis{Fit: fit, Points: points}
+	seenAbove := map[string]bool{}
+	seenBelow := map[string]bool{}
+	for _, p := range points {
+		if fit.Above(p.Samples, p.Users) && !seenAbove[p.Country] {
+			seenAbove[p.Country] = true
+			an.AboveCI = append(an.AboveCI, p.Country)
+		}
+		if fit.Below(p.Samples, p.Users) && !seenBelow[p.Country] {
+			seenBelow[p.Country] = true
+			an.BelowCI = append(an.BelowCI, p.Country)
+		}
+	}
+	sort.Strings(an.AboveCI)
+	sort.Strings(an.BelowCI)
+	return an
+}
+
+// RatioAboveBound reports whether a country's users-to-samples point sits
+// above the analysis's upper prediction bound — the per-day check behind
+// Figure 7.
+func (an ElasticityAnalysis) RatioAboveBound(samples, users float64) bool {
+	return an.Fit.Above(samples, users)
+}
+
+// DaysAboveFraction computes, for each country, the fraction of days on
+// which its top-org users-to-samples ratio fell above the elasticity
+// bound (Figure 7). days maps each date label to that day's per-country
+// top-org point.
+func (an ElasticityAnalysis) DaysAboveFraction(days map[string]map[string]ElasticityPoint) map[string]float64 {
+	above := map[string]int{}
+	total := map[string]int{}
+	for _, perCountry := range days {
+		for cc, p := range perCountry {
+			total[cc]++
+			if an.RatioAboveBound(p.Samples, p.Users) {
+				above[cc]++
+			}
+		}
+	}
+	out := make(map[string]float64, len(total))
+	for cc, n := range total {
+		out[cc] = float64(above[cc]) / float64(n)
+	}
+	return out
+}
+
+// ElasticityRatio is the per-country users-per-sample ratio used by the
+// best-day selection rule of §5.1.2: lower means better-grounded
+// estimates.
+func ElasticityRatio(users, samples float64) float64 {
+	if samples <= 0 {
+		return 0
+	}
+	return users / samples
+}

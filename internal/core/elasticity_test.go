@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/orgs"
+	"repro/internal/rng"
+)
+
+// syntheticElasticityData builds N countries on the users ≈ k·samples^β
+// trend plus named outliers far above the band.
+func syntheticElasticityData(n int, outliers []string) (map[orgs.CountryOrg]float64, map[orgs.CountryOrg]float64) {
+	users := map[orgs.CountryOrg]float64{}
+	samples := map[orgs.CountryOrg]float64{}
+	s := rng.New(3)
+	for i := 0; i < n; i++ {
+		cc := fmt.Sprintf("C%02d", i)
+		smp := math.Pow(10, s.Range(3, 7))
+		u := 30 * math.Pow(smp, 0.95) * s.LogNormal(0, 0.1)
+		key := orgs.CountryOrg{Country: cc, Org: cc + "-top"}
+		users[key] = u
+		samples[key] = smp
+		// Each country also has a smaller org on the same per-country
+		// ratio (the paper's colinearity footnote).
+		key2 := orgs.CountryOrg{Country: cc, Org: cc + "-second"}
+		users[key2] = u / 4
+		samples[key2] = smp / 4
+	}
+	for _, cc := range outliers {
+		smp := 5e3
+		key := orgs.CountryOrg{Country: cc, Org: cc + "-top"}
+		samples[key] = smp
+		users[key] = 30 * math.Pow(smp, 0.95) * 200 // 200x over-weighted
+	}
+	return users, samples
+}
+
+func TestTopOrgPoints(t *testing.T) {
+	users, samples := syntheticElasticityData(10, nil)
+	pts := TopOrgPoints(users, samples, 1)
+	if len(pts) != 10 {
+		t.Fatalf("%d points, want one per country", len(pts))
+	}
+	for _, p := range pts {
+		if p.Org != p.Country+"-top" {
+			t.Errorf("%s top org = %s", p.Country, p.Org)
+		}
+	}
+	pts2 := TopOrgPoints(users, samples, 2)
+	if len(pts2) != 20 {
+		t.Fatalf("top-2 gave %d points", len(pts2))
+	}
+}
+
+func TestTopOrgPointsSkipsNonPositive(t *testing.T) {
+	users := map[orgs.CountryOrg]float64{
+		{Country: "AA", Org: "x"}: 100,
+		{Country: "AA", Org: "y"}: 0,
+	}
+	samples := map[orgs.CountryOrg]float64{
+		{Country: "AA", Org: "x"}: 10,
+		{Country: "AA", Org: "y"}: 10,
+	}
+	pts := TopOrgPoints(users, samples, 5)
+	if len(pts) != 1 {
+		t.Fatalf("%d points; zero-user org should be dropped", len(pts))
+	}
+}
+
+func TestAnalyzeElasticityFindsOutliers(t *testing.T) {
+	users, samples := syntheticElasticityData(60, []string{"RU", "TM", "ER"})
+	an := AnalyzeElasticity(TopOrgPoints(users, samples, 1))
+	if math.Abs(an.Fit.Beta-0.95) > 0.1 {
+		t.Errorf("beta = %v, want ≈0.95", an.Fit.Beta)
+	}
+	found := map[string]bool{}
+	for _, cc := range an.AboveCI {
+		found[cc] = true
+	}
+	for _, cc := range []string{"RU", "TM", "ER"} {
+		if !found[cc] {
+			t.Errorf("planted outlier %s not above CI (above=%v)", cc, an.AboveCI)
+		}
+	}
+	if len(an.AboveCI) > 8 {
+		t.Errorf("too many above-CI countries: %v", an.AboveCI)
+	}
+}
+
+func TestRatioAboveBound(t *testing.T) {
+	users, samples := syntheticElasticityData(60, nil)
+	an := AnalyzeElasticity(TopOrgPoints(users, samples, 1))
+	// On-trend point: not above.
+	if an.RatioAboveBound(1e5, 30*math.Pow(1e5, 0.95)) {
+		t.Error("on-trend point flagged")
+	}
+	if !an.RatioAboveBound(1e5, 30*math.Pow(1e5, 0.95)*300) {
+		t.Error("grossly over-weighted point not flagged")
+	}
+}
+
+func TestDaysAboveFraction(t *testing.T) {
+	users, samples := syntheticElasticityData(60, nil)
+	an := AnalyzeElasticity(TopOrgPoints(users, samples, 1))
+	onTrend := ElasticityPoint{Samples: 1e5, Users: 30 * math.Pow(1e5, 0.95)}
+	anomalous := ElasticityPoint{Samples: 1e5, Users: onTrend.Users * 300}
+	days := map[string]map[string]ElasticityPoint{
+		"2024-01-01": {"GOOD": onTrend, "BAD": anomalous},
+		"2024-01-02": {"GOOD": onTrend, "BAD": anomalous},
+		"2024-01-03": {"GOOD": onTrend, "BAD": onTrend}, // one clean day
+	}
+	frac := an.DaysAboveFraction(days)
+	if frac["GOOD"] != 0 {
+		t.Errorf("GOOD fraction = %v", frac["GOOD"])
+	}
+	if math.Abs(frac["BAD"]-2.0/3) > 1e-9 {
+		t.Errorf("BAD fraction = %v, want 2/3", frac["BAD"])
+	}
+}
+
+func TestElasticityRatio(t *testing.T) {
+	if ElasticityRatio(100, 10) != 10 {
+		t.Error("ratio wrong")
+	}
+	if ElasticityRatio(100, 0) != 0 {
+		t.Error("zero samples should give 0")
+	}
+}
+
+func TestColinearityAcrossK(t *testing.T) {
+	// The paper's footnote: using top-1 vs top-5 does not change the
+	// outlier set because per-country points are colinear.
+	users, samples := syntheticElasticityData(60, []string{"RU"})
+	an1 := AnalyzeElasticity(TopOrgPoints(users, samples, 1))
+	an2 := AnalyzeElasticity(TopOrgPoints(users, samples, 2))
+	in1 := map[string]bool{}
+	for _, cc := range an1.AboveCI {
+		in1[cc] = true
+	}
+	if !in1["RU"] {
+		t.Fatal("RU not flagged at K=1")
+	}
+	found := false
+	for _, cc := range an2.AboveCI {
+		if cc == "RU" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("RU outlier lost when switching to K=2")
+	}
+}

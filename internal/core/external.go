@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// KendallBin is one bin of Figure 9: countries grouped by their
+// M-Lab↔APNIC Kendall-Tau, with the min/avg/max CDN↔APNIC Kendall-Tau
+// observed inside the bin.
+type KendallBin struct {
+	Lo, Hi        float64
+	Count         int
+	Min, Avg, Max float64
+}
+
+// BinKendall groups countries into tau bins of the given width by their
+// public-dataset correlation (M-Lab vs APNIC) and summarizes the private
+// correlation (CDN vs APNIC) within each bin (§5.2's methodology). NaN
+// entries on either axis are skipped.
+func BinKendall(public, private map[string]float64, width float64) []KendallBin {
+	if width <= 0 {
+		width = 0.05
+	}
+	type agg struct {
+		min, max, sum float64
+		n             int
+	}
+	bins := map[int]*agg{}
+	for cc, pub := range public {
+		priv, ok := private[cc]
+		if !ok || math.IsNaN(pub) || math.IsNaN(priv) {
+			continue
+		}
+		idx := int(math.Floor(pub / width))
+		b := bins[idx]
+		if b == nil {
+			b = &agg{min: math.Inf(1), max: math.Inf(-1)}
+			bins[idx] = b
+		}
+		b.n++
+		b.sum += priv
+		if priv < b.min {
+			b.min = priv
+		}
+		if priv > b.max {
+			b.max = priv
+		}
+	}
+	idxs := make([]int, 0, len(bins))
+	for i := range bins {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]KendallBin, 0, len(idxs))
+	for _, i := range idxs {
+		b := bins[i]
+		out = append(out, KendallBin{
+			Lo:    float64(i) * width,
+			Hi:    float64(i+1) * width,
+			Count: b.n,
+			Min:   b.min,
+			Avg:   b.sum / float64(b.n),
+			Max:   b.max,
+		})
+	}
+	return out
+}
+
+// MICComparison is one country's Figure 10 data point: how much
+// information the APNIC user estimates alone carry about CDN traffic
+// volume, versus a model blending APNIC with IXP capacity.
+type MICComparison struct {
+	Country  string
+	APNIC    float64 // MIC(APNIC users, CDN volume)
+	Combined float64 // MIC(blend(APNIC, IXP), CDN volume)
+	N        int     // organizations compared
+}
+
+// TrafficModel is the §5.3 inferential model: a log-space blend of APNIC
+// user shares and IXP capacities, fitted once on data where ground-truth
+// volume is available, then applied anywhere from public inputs only.
+// Organizations without a public IXP registration fall back to an
+// APNIC-only sub-model rather than treating "unregistered" as zero
+// capacity.
+type TrafficModel struct {
+	B0, BAPNIC, BIXP float64 // the blend, for orgs with IXP data
+	A0, A1           float64 // the APNIC-only fallback
+	ok               bool
+}
+
+const logEps = 1e-9
+
+// FitTrafficModel trains the blend on pooled per-org observations:
+// log(volume) ~ log(APNIC share) + log(IXP capacity) over orgs with IXP
+// registrations, plus log(volume) ~ log(APNIC share) over everything as
+// the fallback. In the paper's framing the training side uses private CDN
+// data; prediction needs only public inputs.
+func FitTrafficModel(apnic, ixp, volume []float64) TrafficModel {
+	var la, lx, lv []float64 // with IXP
+	var fa, fv []float64     // fallback, all points
+	for i := range volume {
+		if volume[i] <= 0 {
+			continue
+		}
+		lvi := math.Log10(volume[i])
+		lai := math.Log10(apnic[i] + logEps)
+		fa = append(fa, lai)
+		fv = append(fv, lvi)
+		if ixp[i] > 0 {
+			la = append(la, lai)
+			lx = append(lx, math.Log10(ixp[i]))
+			lv = append(lv, lvi)
+		}
+	}
+	b0, b1, b2, ok := stats.OLS2(la, lx, lv)
+	fb := stats.LinearRegression(fa, fv)
+	return TrafficModel{
+		B0: b0, BAPNIC: b1, BIXP: b2,
+		A0: fb.Intercept, A1: fb.Slope,
+		ok: ok && fb.Ok(),
+	}
+}
+
+// Ok reports whether the model fit succeeded.
+func (m TrafficModel) Ok() bool { return m.ok }
+
+// Predict returns the model's log-volume estimate from public inputs.
+// With no IXP registration (ixpCap <= 0) the APNIC-only fallback is used.
+func (m TrafficModel) Predict(apnicShare, ixpCap float64) float64 {
+	la := math.Log10(apnicShare + logEps)
+	if ixpCap <= 0 {
+		return m.A0 + m.A1*la
+	}
+	return m.B0 + m.BAPNIC*la + m.BIXP*math.Log10(ixpCap)
+}
+
+// CompareMIC computes the Figure 10 statistic for one country from
+// aligned per-org vectors: APNIC user shares, IXP capacities and CDN
+// traffic volumes, using a pre-trained blend for the combined predictor.
+// Orgs missing an IXP capacity participate with 0, as in real-world use.
+// Returns ok=false when there are too few orgs for MIC to be meaningful.
+func CompareMIC(country string, model TrafficModel, apnicShares, ixpCaps, volumes map[string]float64) (MICComparison, bool) {
+	keys := map[string]bool{}
+	for k := range apnicShares {
+		keys[k] = true
+	}
+	for k := range volumes {
+		keys[k] = true
+	}
+	ids := make([]string, 0, len(keys))
+	for k := range keys {
+		ids = append(ids, k)
+	}
+	sort.Strings(ids)
+	var a, blend, v []float64
+	for _, id := range ids {
+		a = append(a, apnicShares[id])
+		v = append(v, volumes[id])
+		blend = append(blend, model.Predict(apnicShares[id], ixpCaps[id]))
+	}
+	cmp := MICComparison{Country: country, N: len(ids)}
+	if len(ids) < 8 || !model.Ok() {
+		return cmp, false
+	}
+	cmp.APNIC = stats.MIC(a, v)
+	cmp.Combined = stats.MIC(blend, v)
+	if math.IsNaN(cmp.APNIC) || math.IsNaN(cmp.Combined) {
+		return cmp, false
+	}
+	return cmp, true
+}
+
+// CrossValidation holds the out-of-sample performance of the §5.3 traffic
+// model — the paper's future-work question: can a model trained where
+// ground truth exists predict traffic volume elsewhere from public inputs
+// alone?
+type CrossValidation struct {
+	Folds int
+	// InSampleR2 and OutSampleR2 are log-space R² of the blend's
+	// predictions on training and held-out observations.
+	InSampleR2  float64
+	OutSampleR2 float64
+}
+
+// CrossValidateTrafficModel runs deterministic k-fold cross-validation of
+// the log-blend traffic model over pooled per-org observations. Folds are
+// assigned by index stride, so results are reproducible without an RNG.
+func CrossValidateTrafficModel(apnic, ixp, volume []float64, folds int) (CrossValidation, bool) {
+	n := len(volume)
+	if folds < 2 || n < folds*4 || len(apnic) != n || len(ixp) != n {
+		return CrossValidation{}, false
+	}
+	var inPred, inTrue, outPred, outTrue []float64
+	for f := 0; f < folds; f++ {
+		var ta, tx, tv []float64
+		for i := 0; i < n; i++ {
+			if i%folds != f && volume[i] > 0 {
+				ta = append(ta, apnic[i])
+				tx = append(tx, ixp[i])
+				tv = append(tv, volume[i])
+			}
+		}
+		m := FitTrafficModel(ta, tx, tv)
+		if !m.Ok() {
+			return CrossValidation{}, false
+		}
+		for i := 0; i < n; i++ {
+			if volume[i] <= 0 {
+				continue
+			}
+			pred := m.Predict(apnic[i], ixp[i])
+			lv := math.Log10(volume[i])
+			if i%folds == f {
+				outPred = append(outPred, pred)
+				outTrue = append(outTrue, lv)
+			} else {
+				inPred = append(inPred, pred)
+				inTrue = append(inTrue, lv)
+			}
+		}
+	}
+	cv := CrossValidation{
+		Folds:       folds,
+		InSampleR2:  r2Of(inPred, inTrue),
+		OutSampleR2: r2Of(outPred, outTrue),
+	}
+	if math.IsNaN(cv.InSampleR2) || math.IsNaN(cv.OutSampleR2) {
+		return cv, false
+	}
+	return cv, true
+}
+
+// r2Of is the coefficient of determination of predictions against truth.
+func r2Of(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(truth) < 2 {
+		return math.NaN()
+	}
+	mean := stats.Mean(truth)
+	var ssRes, ssTot float64
+	for i := range truth {
+		r := truth[i] - pred[i]
+		ssRes += r * r
+		d := truth[i] - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestBinKendall(t *testing.T) {
+	public := map[string]float64{
+		"AA": 0.12, "BB": 0.14, // bin [0.10, 0.15)
+		"CC": 0.92, "DD": 0.93, // bin [0.90, 0.95)
+	}
+	private := map[string]float64{
+		"AA": 0.2, "BB": 0.4,
+		"CC": 0.85, "DD": 0.95,
+	}
+	bins := BinKendall(public, private, 0.05)
+	if len(bins) != 2 {
+		t.Fatalf("%d bins", len(bins))
+	}
+	lo := bins[0]
+	if lo.Count != 2 || lo.Min != 0.2 || lo.Max != 0.4 || math.Abs(lo.Avg-0.3) > 1e-12 {
+		t.Fatalf("low bin = %+v", lo)
+	}
+	hi := bins[1]
+	if hi.Count != 2 || math.Abs(hi.Avg-0.9) > 1e-12 {
+		t.Fatalf("high bin = %+v", hi)
+	}
+	if lo.Lo >= hi.Lo {
+		t.Fatal("bins not sorted")
+	}
+}
+
+func TestBinKendallSkipsNaNAndMissing(t *testing.T) {
+	public := map[string]float64{"AA": 0.5, "BB": math.NaN(), "CC": 0.5}
+	private := map[string]float64{"AA": 0.5, "BB": 0.5}
+	bins := BinKendall(public, private, 0.05)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 1 {
+		t.Fatalf("counted %d countries, want 1", total)
+	}
+}
+
+func TestBinKendallDefaultWidth(t *testing.T) {
+	bins := BinKendall(map[string]float64{"AA": 0.33}, map[string]float64{"AA": 0.5}, 0)
+	if len(bins) != 1 || math.Abs(bins[0].Hi-bins[0].Lo-0.05) > 1e-12 {
+		t.Fatalf("default width bins = %+v", bins)
+	}
+}
+
+// micTestData builds per-org maps where volume depends mostly on IXP
+// capacity and only weakly on APNIC shares, plus the pooled training
+// vectors for the blend model.
+func micTestData(n int) (apnic, ixp, vol map[string]float64, model TrafficModel) {
+	s := rng.New(4)
+	apnic = map[string]float64{}
+	ixp = map[string]float64{}
+	vol = map[string]float64{}
+	var ta, tx, tv []float64
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("org%02d", i)
+		a := s.Range(0.01, 1)
+		x := s.Range(0.01, 1)
+		apnic[id] = a
+		ixp[id] = x
+		vol[id] = x * math.Pow(a, 0.1) * math.Exp(s.Norm(0, 0.02))
+		ta = append(ta, a)
+		tx = append(tx, x)
+		tv = append(tv, vol[id])
+	}
+	model = FitTrafficModel(ta, tx, tv)
+	return apnic, ixp, vol, model
+}
+
+func TestCompareMICGain(t *testing.T) {
+	apnic, ixp, vol, model := micTestData(80)
+	if !model.Ok() {
+		t.Fatal("traffic model fit failed")
+	}
+	cmp, ok := CompareMIC("XX", model, apnic, ixp, vol)
+	if !ok {
+		t.Fatal("comparison failed")
+	}
+	if cmp.Combined < cmp.APNIC {
+		t.Fatalf("combined MIC %v below APNIC-alone %v", cmp.Combined, cmp.APNIC)
+	}
+	if cmp.Combined < 0.4 {
+		t.Fatalf("combined MIC %v too low for a near-functional relation", cmp.Combined)
+	}
+}
+
+func TestCompareMICTooFewOrgs(t *testing.T) {
+	apnic, ixp, vol, model := micTestData(80)
+	_ = ixp
+	_ = vol
+	tiny := map[string]float64{"a": 1, "b": 2}
+	if _, ok := CompareMIC("XX", model, tiny, tiny, tiny); ok {
+		t.Fatal("tiny org set should not produce a MIC comparison")
+	}
+	if _, ok := CompareMIC("XX", TrafficModel{}, apnic, apnic, apnic); ok {
+		t.Fatal("unfitted model should not produce a comparison")
+	}
+}
+
+func TestCompareMICAlignsOnUnion(t *testing.T) {
+	s := rng.New(5)
+	_, _, _, model := micTestData(80)
+	apnic := map[string]float64{}
+	vol := map[string]float64{}
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("u%02d", i)
+		v := s.Range(0.01, 1)
+		apnic[id] = v
+		vol[id] = v
+	}
+	// IXP data covers only a subset; missing orgs must count as zero,
+	// not crash.
+	ixp := map[string]float64{"u00": 1, "u01": 2}
+	cmp, ok := CompareMIC("XX", model, apnic, ixp, vol)
+	if !ok {
+		t.Fatal("comparison failed")
+	}
+	if cmp.N != 30 {
+		t.Fatalf("N = %d, want union size 30", cmp.N)
+	}
+}
+
+func TestFitTrafficModelRecoversExponents(t *testing.T) {
+	// volume = apnic^0.3 * ixp^0.7 exactly: the log-blend must recover
+	// the exponents.
+	s := rng.New(6)
+	var ta, tx, tv []float64
+	for i := 0; i < 200; i++ {
+		a := s.Range(0.01, 1)
+		x := s.Range(0.01, 1)
+		ta = append(ta, a)
+		tx = append(tx, x)
+		tv = append(tv, math.Pow(a, 0.3)*math.Pow(x, 0.7))
+	}
+	m := FitTrafficModel(ta, tx, tv)
+	if !m.Ok() {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(m.BAPNIC-0.3) > 0.05 || math.Abs(m.BIXP-0.7) > 0.05 {
+		t.Fatalf("recovered exponents %.3f / %.3f, want 0.3 / 0.7", m.BAPNIC, m.BIXP)
+	}
+}
+
+func TestOrgsToCover(t *testing.T) {
+	shares := map[string]float64{"a": 0.5, "b": 0.3, "c": 0.15, "d": 0.05}
+	if got := OrgsToCover(shares, 0.95); got != 3 {
+		t.Fatalf("OrgsToCover = %d, want 3", got)
+	}
+	if got := OrgsToCover(nil, 0.95); got != 0 {
+		t.Fatalf("empty OrgsToCover = %d", got)
+	}
+}
+
+func TestConsolidationChanges(t *testing.T) {
+	baseline := map[string]map[string]float64{
+		"AA": {"x": 0.5, "y": 0.3, "z": 0.15, "w": 0.05}, // 3 orgs to 95%
+		"BB": {"x": 0.96, "y": 0.04},                     // 1 org
+	}
+	target := map[string]map[string]float64{
+		"AA": {"x": 0.96, "y": 0.04}, // 1 org: -66%
+		"CC": {"x": 1.0},             // no baseline → NoData
+	}
+	changes := ConsolidationChanges(baseline, target)
+	byCC := map[string]ConsolidationChange{}
+	for _, c := range changes {
+		byCC[c.Country] = c
+	}
+	aa := byCC["AA"]
+	if aa.Baseline != 3 || aa.Target != 1 || math.Abs(aa.Pct+66.67) > 0.1 {
+		t.Fatalf("AA change = %+v", aa)
+	}
+	if !byCC["BB"].NoData {
+		t.Fatalf("BB should be NoData (missing target): %+v", byCC["BB"])
+	}
+	if !byCC["CC"].NoData {
+		t.Fatalf("CC should be NoData (missing baseline): %+v", byCC["CC"])
+	}
+}
+
+func TestRunChecksVerdicts(t *testing.T) {
+	users, samples := syntheticElasticityData(60, nil)
+	an := AnalyzeElasticity(TopOrgPoints(users, samples, 1))
+	stable := []map[string]float64{
+		{"x": 0.5, "y": 0.5},
+		{"x": 0.51, "y": 0.49},
+	}
+	good := CheckInput{
+		Country:      "GOOD",
+		Samples:      1e5,
+		Users:        30 * math.Pow(1e5, 0.95),
+		Elasticity:   an,
+		RecentShares: stable,
+		MLabKendall:  0.9,
+	}
+	rep := RunChecks(good)
+	if rep.Verdict != Reliable {
+		t.Fatalf("good country verdict = %v: %+v", rep.Verdict, rep.Checks)
+	}
+	if len(rep.Checks) != 4 {
+		t.Fatalf("%d checks run", len(rep.Checks))
+	}
+
+	// One failure → Caution.
+	oneBad := good
+	oneBad.MLabKendall = 0.1
+	if got := RunChecks(oneBad).Verdict; got != Caution {
+		t.Fatalf("one-failure verdict = %v", got)
+	}
+
+	// Multiple failures → Unreliable.
+	bad := CheckInput{
+		Country:    "BAD",
+		Samples:    200,
+		Users:      30 * math.Pow(200, 0.95) * 500,
+		Elasticity: an,
+		RecentShares: []map[string]float64{
+			{"x": 0.9, "y": 0.1},
+			{"x": 0.3, "y": 0.7},
+		},
+		MLabKendall: 0.0,
+	}
+	if got := RunChecks(bad).Verdict; got != Unreliable {
+		t.Fatalf("bad country verdict = %v", got)
+	}
+}
+
+func TestRunChecksMLabSkip(t *testing.T) {
+	users, samples := syntheticElasticityData(60, nil)
+	an := AnalyzeElasticity(TopOrgPoints(users, samples, 1))
+	in := CheckInput{
+		Country:      "NOMLAB",
+		Samples:      1e5,
+		Users:        30 * math.Pow(1e5, 0.95),
+		Elasticity:   an,
+		RecentShares: []map[string]float64{{"x": 1}, {"x": 1}},
+		MLabKendall:  math.NaN(),
+	}
+	rep := RunChecks(in)
+	if rep.Verdict != Reliable {
+		t.Fatalf("NaN M-Lab should be skipped, verdict = %v", rep.Verdict)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Reliable.String() != "reliable" || Caution.String() != "caution" || Unreliable.String() != "unreliable" {
+		t.Fatal("verdict strings wrong")
+	}
+}
+
+func TestCrossValidateTrafficModel(t *testing.T) {
+	s := rng.New(8)
+	var ta, tx, tv []float64
+	for i := 0; i < 200; i++ {
+		a := s.Range(0.01, 1)
+		x := s.Range(0.01, 1)
+		ta = append(ta, a)
+		tx = append(tx, x)
+		tv = append(tv, math.Pow(a, 0.4)*math.Pow(x, 0.6)*math.Exp(s.Norm(0, 0.1)))
+	}
+	cv, ok := CrossValidateTrafficModel(ta, tx, tv, 5)
+	if !ok {
+		t.Fatal("cross-validation failed")
+	}
+	if cv.InSampleR2 < 0.8 || cv.OutSampleR2 < 0.7 {
+		t.Fatalf("R² in=%v out=%v; model should fit a near-exact law", cv.InSampleR2, cv.OutSampleR2)
+	}
+	if cv.OutSampleR2 > cv.InSampleR2+0.1 {
+		t.Fatalf("out-of-sample R² implausibly high: %+v", cv)
+	}
+	// Degenerate inputs fail cleanly.
+	if _, ok := CrossValidateTrafficModel(ta[:6], tx[:6], tv[:6], 5); ok {
+		t.Fatal("tiny input should fail")
+	}
+	if _, ok := CrossValidateTrafficModel(ta, tx, tv, 1); ok {
+		t.Fatal("single fold should fail")
+	}
+}
+
+func TestConsolidationDrivers(t *testing.T) {
+	before := map[string]float64{"a": 0.5, "b": 0.3, "c": 0.2}
+	after := map[string]float64{"a": 0.7, "c": 0.1, "d": 0.2} // b absorbed, d entered
+	drivers := ConsolidationDrivers(before, after, 0)
+	if len(drivers) != 4 {
+		t.Fatalf("%d drivers", len(drivers))
+	}
+	// "a" (+0.2 up to float rounding) and "d" (+0.2 exactly) lead.
+	lead := map[string]bool{drivers[0].Org: true, drivers[1].Org: true}
+	if !lead["a"] || !lead["d"] {
+		t.Fatalf("top gainers = %+v", drivers[:2])
+	}
+	if math.Abs(drivers[0].Delta-0.2) > 1e-9 {
+		t.Fatalf("top gain = %v", drivers[0].Delta)
+	}
+	if drivers[len(drivers)-1].Org != "b" || math.Abs(drivers[len(drivers)-1].Delta+0.3) > 1e-12 {
+		t.Fatalf("top loser = %+v", drivers[len(drivers)-1])
+	}
+	top2 := ConsolidationDrivers(before, after, 2)
+	if len(top2) != 2 {
+		t.Fatalf("topN truncation wrong: %+v", top2)
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	reports := map[string]Report{
+		"AA": {Country: "AA", Verdict: Reliable, Checks: []CheckResult{
+			{Name: "sample-sufficiency", Passed: true},
+		}},
+		"BB": {Country: "BB", Verdict: Caution, Checks: []CheckResult{
+			{Name: "elasticity-band", Passed: false},
+		}},
+		"CC": {Country: "CC", Verdict: Unreliable, Checks: []CheckResult{
+			{Name: "sample-sufficiency", Passed: false},
+			{Name: "elasticity-band", Passed: false},
+		}},
+	}
+	gs := Recommend(reports)
+	byCheck := map[string]Guidance{}
+	for _, g := range gs {
+		byCheck[g.Check] = g
+	}
+	eb, ok := byCheck["elasticity-band"]
+	if !ok || len(eb.Countries) != 2 || eb.Countries[0] != "BB" || eb.Countries[1] != "CC" {
+		t.Fatalf("elasticity guidance = %+v", eb)
+	}
+	if eb.Advice == "" {
+		t.Fatal("missing advice text")
+	}
+	overall, ok := byCheck["overall"]
+	if !ok || len(overall.Countries) != 1 || overall.Countries[0] != "CC" {
+		t.Fatalf("overall guidance = %+v", overall)
+	}
+	if len(Recommend(map[string]Report{"AA": reports["AA"]})) != 0 {
+		t.Fatal("all-pass reports should yield no guidance")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Granularity labels the time steps of the stability analysis (Figure 8).
+type Granularity string
+
+// Granularities in Figure 8.
+const (
+	Daily   Granularity = "days"
+	Weekly  Granularity = "weeks"
+	Monthly Granularity = "months"
+	Yearly  Granularity = "years"
+)
+
+// Step returns the granularity's step in days.
+func (g Granularity) Step() int {
+	switch g {
+	case Daily:
+		return 1
+	case Weekly:
+		return 7
+	case Monthly:
+		return 30
+	case Yearly:
+		return 365
+	default:
+		return 1
+	}
+}
+
+// StabilityDistance computes the Kolmogorov–Smirnov-style distance
+// between a country's per-org user share distributions at two times
+// (§5.1.2): organizations are aligned on the union of keys (absent orgs
+// count 0), and the distance is the maximum per-org share difference —
+// "the number of users estimated to be in an organization differs by at
+// least X% of a country's Internet population".
+func StabilityDistance(sharesT, sharesT1 map[string]float64) float64 {
+	if len(sharesT) == 0 || len(sharesT1) == 0 {
+		return math.NaN()
+	}
+	a, b, _ := stats.AlignShares(sharesT, sharesT1)
+	return stats.MaxShareDiff(a, b)
+}
+
+// StabilitySeries computes consecutive-step distances for one country
+// over a sequence of share snapshots (already spaced at the granularity's
+// step). The result feeds one curve of Figure 8's CDF.
+func StabilitySeries(snapshots []map[string]float64) []float64 {
+	var out []float64
+	for i := 1; i < len(snapshots); i++ {
+		d := StabilityDistance(snapshots[i-1], snapshots[i])
+		if !math.IsNaN(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// BestDay picks, from a window of candidate days, the one with the
+// smallest users-per-sample (elasticity) ratio — the paper's §5.1.2
+// aggregation rule for choosing which daily APNIC snapshot to trust.
+// ratios maps a sortable date label to the country's ratio that day;
+// days with ratio <= 0 (no data) are skipped. ok is false if no candidate
+// has data.
+func BestDay(ratios map[string]float64) (day string, ok bool) {
+	keys := make([]string, 0, len(ratios))
+	for k := range ratios {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	best := math.Inf(1)
+	for _, k := range keys {
+		r := ratios[k]
+		if r > 0 && r < best {
+			best = r
+			day = k
+			ok = true
+		}
+	}
+	return day, ok
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStabilityDistance(t *testing.T) {
+	a := map[string]float64{"x": 0.6, "y": 0.4}
+	if d := StabilityDistance(a, a); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	b := map[string]float64{"x": 0.4, "y": 0.6}
+	if d := StabilityDistance(a, b); math.Abs(d-0.2) > 1e-12 {
+		t.Fatalf("swap distance = %v, want 0.2", d)
+	}
+	// An org disappearing entirely moves its full share.
+	c := map[string]float64{"x": 1.0}
+	if d := StabilityDistance(a, c); math.Abs(d-0.4) > 1e-12 {
+		t.Fatalf("disappearance distance = %v, want 0.4", d)
+	}
+	if !math.IsNaN(StabilityDistance(nil, a)) {
+		t.Fatal("empty snapshot should be NaN")
+	}
+}
+
+func TestStabilitySeries(t *testing.T) {
+	snaps := []map[string]float64{
+		{"x": 0.5, "y": 0.5},
+		{"x": 0.5, "y": 0.5},
+		{"x": 0.8, "y": 0.2},
+	}
+	series := StabilitySeries(snaps)
+	if len(series) != 2 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	if series[0] != 0 || math.Abs(series[1]-0.3) > 1e-12 {
+		t.Fatalf("series = %v", series)
+	}
+	if len(StabilitySeries(snaps[:1])) != 0 {
+		t.Fatal("single snapshot should give empty series")
+	}
+}
+
+func TestBestDay(t *testing.T) {
+	ratios := map[string]float64{
+		"2024-01-01": 40,
+		"2024-01-02": 25, // best
+		"2024-01-03": 60,
+		"2024-01-04": 0, // no data — skipped
+	}
+	day, ok := BestDay(ratios)
+	if !ok || day != "2024-01-02" {
+		t.Fatalf("BestDay = %q, %v", day, ok)
+	}
+	if _, ok := BestDay(map[string]float64{"x": 0}); ok {
+		t.Fatal("all-zero ratios should fail")
+	}
+	if _, ok := BestDay(nil); ok {
+		t.Fatal("empty ratios should fail")
+	}
+}
+
+func TestBestDayDeterministicTies(t *testing.T) {
+	// Equal ratios: the earliest day wins (sorted iteration).
+	ratios := map[string]float64{"2024-01-03": 10, "2024-01-01": 10, "2024-01-02": 10}
+	day, _ := BestDay(ratios)
+	if day != "2024-01-01" {
+		t.Fatalf("tie-break day = %s", day)
+	}
+}
+
+func TestGranularitySteps(t *testing.T) {
+	if Daily.Step() != 1 || Weekly.Step() != 7 || Monthly.Step() != 30 || Yearly.Step() != 365 {
+		t.Fatal("granularity steps wrong")
+	}
+	if Granularity("bogus").Step() != 1 {
+		t.Fatal("unknown granularity should default to 1")
+	}
+}

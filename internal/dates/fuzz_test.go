@@ -1,0 +1,30 @@
+package dates
+
+import "testing"
+
+// FuzzParse exercises the date parser: it must never panic, and any date
+// it accepts must round-trip through String and day-number arithmetic.
+func FuzzParse(f *testing.F) {
+	f.Add("2024-04-21")
+	f.Add("2024-02-29")
+	f.Add("1970-01-01")
+	f.Add("0000-01-01")
+	f.Add("9999-12-31")
+	f.Add("not-a-date")
+	f.Add("2024-13-01")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !d.Valid() {
+			t.Fatalf("Parse accepted invalid date %q -> %+v", s, d)
+		}
+		if rt, err := Parse(d.String()); err != nil || rt != d {
+			t.Fatalf("String round trip failed for %q: %v %v", s, rt, err)
+		}
+		if FromDayNumber(d.DayNumber()) != d {
+			t.Fatalf("day-number round trip failed for %v", d)
+		}
+	})
+}

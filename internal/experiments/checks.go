@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dates"
+	"repro/internal/orgs"
+)
+
+// RunCountryChecks assembles the artifact's CheckInput for one country on
+// one day — exactly the data a researcher can derive from public sources
+// (the APNIC dataset itself plus M-Lab) — and runs the reliability
+// checklist.
+func RunCountryChecks(l *Lab, cc string, d dates.Date) core.Report {
+	an := elasticityAnalysis(l)
+
+	samples, users := l.APNIC.CountryTotals(cc, d)
+
+	// A week of daily share snapshots for the stability check.
+	var recent []map[string]float64
+	for off := 6; off >= 0; off-- {
+		sh := l.APNIC.CountryOrgShares(cc, d.AddDays(-off))
+		if len(sh) > 0 {
+			recent = append(recent, sh)
+		}
+	}
+
+	// Public cross-check: Kendall against the M-Lab month.
+	mlabKendall := math.NaN()
+	if l.MLab.Integrated(cc) {
+		ml := l.MLab.Generate(d)
+		mlShares := ml.CountryShares(cc)
+		apnicShares := l.APNIC.CountryOrgShares(cc, d)
+		if len(mlShares) >= 3 && len(apnicShares) >= 3 {
+			res := core.CompareShares(apnicShares, mlShares)
+			mlabKendall = res.Kendall
+		}
+	}
+
+	return core.RunChecks(core.CheckInput{
+		Country:      cc,
+		Samples:      float64(samples),
+		Users:        users,
+		Elasticity:   an,
+		RecentShares: recent,
+		MLabKendall:  mlabKendall,
+	})
+}
+
+// CheckAll runs the artifact checks for every country on a day and
+// returns the reports keyed by country code.
+func CheckAll(l *Lab, d dates.Date) map[string]core.Report {
+	out := map[string]core.Report{}
+	for _, cc := range l.W.Countries() {
+		out[cc] = RunCountryChecks(l, cc, d)
+	}
+	return out
+}
+
+// WeightByUsers returns each listed (country, org) pair's share of the
+// world's Internet users according to an APNIC report — the paper's
+// motivating use case: weighting a measurement platform's coverage.
+func WeightByUsers(l *Lab, d dates.Date, pairs []orgs.CountryOrg) (weights map[orgs.CountryOrg]float64, totalPct float64) {
+	rep := l.Report(d)
+	users := rep.OrgUsers(l.W.Registry)
+	var worldTotal float64
+	for _, v := range users {
+		worldTotal += v
+	}
+	weights = map[orgs.CountryOrg]float64{}
+	if worldTotal == 0 {
+		return weights, 0
+	}
+	for _, p := range pairs {
+		w := users[p] / worldTotal
+		weights[p] = w
+		totalPct += 100 * w
+	}
+	return weights, totalPct
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dates"
+	"repro/internal/geo"
+	"repro/internal/report"
+)
+
+// yearShares selects, per country, the per-org share snapshot for a year
+// using the paper's rule: the first sampled day of the year whose
+// users-per-sample ratio falls inside the elasticity bound; countries
+// with no acceptable day are omitted (drawn black in Figure 11).
+func yearShares(l *Lab, an core.ElasticityAnalysis, year int) map[string]map[string]float64 {
+	out := map[string]map[string]float64{}
+	for _, cc := range l.W.Countries() {
+		var chosen dates.Date
+		found := false
+		for off := 0; off < 360; off += 15 {
+			d := dates.YearStart(year).AddDays(off)
+			s, u := l.APNIC.CountryTotals(cc, d)
+			if s == 0 {
+				continue
+			}
+			if !an.RatioAboveBound(float64(s), u) {
+				chosen = d
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		sh := l.APNIC.CountryOrgShares(cc, chosen)
+		if len(sh) > 0 {
+			out[cc] = sh
+		}
+	}
+	return out
+}
+
+// Figure11 regenerates the consolidation analysis of §6: the percentage
+// change, from the 2019 baseline, in the number of organizations needed
+// to cover 95% of each country's estimated users. Paper shape: Latin
+// America strongly up (diversification), Southern Asia sharply down
+// (India's consolidation), Europe and Africa mildly down.
+func Figure11(l *Lab) *Result {
+	an := elasticityAnalysis(l)
+	baseline := yearShares(l, an, 2019)
+
+	metrics := map[string]float64{}
+	var b strings.Builder
+	var lastChanges []core.ConsolidationChange
+
+	for _, target := range []int{2021, 2022, 2023, 2024} {
+		shares := yearShares(l, an, target)
+		changes := core.ConsolidationChanges(baseline, shares)
+		lastChanges = changes
+
+		// Aggregate per region.
+		type agg struct {
+			sum float64
+			n   int
+		}
+		regions := map[geo.Subregion]*agg{}
+		noData := 0
+		for _, ch := range changes {
+			if ch.NoData {
+				noData++
+				continue
+			}
+			c, ok := geo.ByCode(ch.Country)
+			if !ok {
+				continue
+			}
+			a := regions[c.Subregion]
+			if a == nil {
+				a = &agg{}
+				regions[c.Subregion] = a
+			}
+			a.sum += ch.Pct
+			a.n++
+		}
+
+		fmt.Fprintf(&b, "== 2019 -> %d (countries without a valid day: %d) ==\n", target, noData)
+		var rows [][]string
+		for _, region := range geo.AllSubregions() {
+			a := regions[region]
+			if a == nil || a.n == 0 {
+				continue
+			}
+			mean := a.sum / float64(a.n)
+			rows = append(rows, []string{string(region), fmt.Sprintf("%d", a.n), report.F(mean, 1) + "%"})
+			if target == 2024 {
+				key := regionMetricKey(region)
+				metrics[key] = mean
+			}
+		}
+		b.WriteString(report.Table([]string{"Region", "countries", "mean % change in orgs-to-95%"}, rows))
+		b.WriteString("\n")
+		if target == 2024 {
+			metrics["no_data_countries"] = float64(noData)
+		}
+	}
+	_ = lastChanges
+
+	return &Result{
+		ID:      "Figure 11",
+		Title:   "Change in organizations needed to cover 95% of users (2019 baseline)",
+		Text:    b.String(),
+		Metrics: metrics,
+		Paper: map[string]float64{
+			// Directional targets from §6's narrative.
+			"south_america":      100, // "massively increased"
+			"southern_asia":      -40, // "drastic decrease"
+			"western_europe":     -15, // "steady decline"
+			"africa_middle_west": -10, // "decrease in diversity"
+		},
+	}
+}
+
+func regionMetricKey(region geo.Subregion) string {
+	switch region {
+	case geo.SouthAmer:
+		return "south_america"
+	case geo.CentralAmerica:
+		return "central_america"
+	case geo.Caribbean:
+		return "caribbean"
+	case geo.SouthernAsia:
+		return "southern_asia"
+	case geo.WesternEurope:
+		return "western_europe"
+	case geo.EasternEurope:
+		return "eastern_europe"
+	case geo.NorthernEurope:
+		return "northern_europe"
+	case geo.SouthernEurope:
+		return "southern_europe"
+	case geo.OtherAfrica:
+		return "africa_middle_west"
+	case geo.EasternAfrica:
+		return "eastern_africa"
+	default:
+		return strings.ToLower(strings.ReplaceAll(string(region), " ", "_"))
+	}
+}
+
+// Table6 regenerates Appendix D: percentage change in allocated and
+// advertised ASNs per region, 2019 → 2024.
+func Table6(l *Lab) *Result {
+	changes := l.RIR.Changes(2019, 2024)
+	var rows [][]string
+	metrics := map[string]float64{}
+	for _, ch := range changes {
+		rows = append(rows, []string{string(ch.Region), report.F(ch.AllocatedPct, 2), report.F(ch.AdvertisedPct, 2)})
+	}
+	for _, ch := range changes {
+		switch ch.Region {
+		case geo.Caribbean:
+			metrics["caribbean_alloc"] = ch.AllocatedPct
+		case geo.EasternAsia:
+			metrics["eastern_asia_alloc"] = ch.AllocatedPct
+			metrics["eastern_asia_adv"] = ch.AdvertisedPct
+		case geo.NorthernAmer:
+			metrics["northern_america_alloc"] = ch.AllocatedPct
+		case geo.EasternEurope:
+			metrics["eastern_europe_alloc"] = ch.AllocatedPct
+		}
+	}
+	return &Result{
+		ID:      "Table 6 (Appendix D)",
+		Title:   "Percentage increase in allocated and advertised ASNs per region (2019-2024)",
+		Text:    report.Table([]string{"Region", "Allocated ASN Incr. (%)", "Advertised ASN Incr. (%)"}, rows),
+		Metrics: metrics,
+		Paper: map[string]float64{
+			"caribbean_alloc":        20.46,
+			"eastern_asia_alloc":     62.46,
+			"eastern_asia_adv":       130.34,
+			"northern_america_alloc": -15.13,
+			"eastern_europe_alloc":   -28.69,
+		},
+	}
+}

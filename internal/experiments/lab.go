@@ -1,0 +1,170 @@
+// Package experiments wires the dataset simulators to the core validation
+// toolkit and regenerates every table and figure of the paper's
+// evaluation. Each runner returns a Result carrying rendered text, the
+// headline metrics, and the paper's corresponding values, so that
+// EXPERIMENTS.md and the benchmark harness can report paper-vs-measured
+// side by side.
+package experiments
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/apnic"
+	"repro/internal/broadband"
+	"repro/internal/cdn"
+	"repro/internal/dates"
+	"repro/internal/itu"
+	"repro/internal/ixp"
+	"repro/internal/mlab"
+	"repro/internal/rir"
+	"repro/internal/world"
+)
+
+// Reference dates, mirroring the paper's data pulls.
+var (
+	// PrimaryCDNDay is the main comparison day (§3.4 lists 2023-07-20).
+	PrimaryCDNDay = dates.New(2023, 7, 20)
+	// Table2Day is the snapshot of Table 2.
+	Table2Day = dates.New(2024, 4, 21)
+	// Figure6Day is the elasticity snapshot (Figure 6's caption).
+	Figure6Day = dates.New(2024, 8, 9)
+	// BroadbandDay is the Broadband Subscriber collection window.
+	BroadbandDay = dates.New(2024, 3, 1)
+	// CDN2024Days are the 2024 log days of Appendix C.
+	CDN2024Days = []dates.Date{
+		dates.New(2024, 4, 1), dates.New(2024, 4, 2),
+		dates.New(2024, 5, 2), dates.New(2024, 5, 3),
+		dates.New(2024, 8, 9), dates.New(2024, 8, 10),
+		dates.New(2024, 8, 11), dates.New(2024, 8, 12),
+	}
+)
+
+// Lab bundles one world with all its measurement simulators, caching the
+// expensive daily artifacts.
+type Lab struct {
+	Seed      uint64
+	W         *world.World
+	ITU       *itu.Estimator
+	APNIC     *apnic.Generator
+	CDN       *cdn.Generator
+	Broadband *broadband.Generator
+	MLab      *mlab.Generator
+	IXP       *ixp.Generator
+	RIR       *rir.Generator
+
+	mu      sync.Mutex
+	reports map[dates.Date]*apnic.Report
+	snaps   map[dates.Date]*cdn.Snapshot
+}
+
+// NewLab builds a world and all generators from one seed.
+func NewLab(seed uint64) *Lab {
+	w := world.MustBuild(world.Config{Seed: seed})
+	ituEst := itu.New(w, seed)
+	return &Lab{
+		Seed:      seed,
+		W:         w,
+		ITU:       ituEst,
+		APNIC:     apnic.New(w, ituEst, seed),
+		CDN:       cdn.New(w, seed),
+		Broadband: broadband.New(w, seed),
+		MLab:      mlab.New(w, seed),
+		IXP:       ixp.New(w, seed),
+		RIR:       rir.New(w, seed),
+		reports:   map[dates.Date]*apnic.Report{},
+		snaps:     map[dates.Date]*cdn.Snapshot{},
+	}
+}
+
+// Report returns the cached APNIC report for a day.
+func (l *Lab) Report(d dates.Date) *apnic.Report {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r, ok := l.reports[d]; ok {
+		return r
+	}
+	r := l.APNIC.Generate(d)
+	l.reports[d] = r
+	return r
+}
+
+// Snapshot returns the cached CDN snapshot for a day.
+func (l *Lab) Snapshot(d dates.Date) *cdn.Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s, ok := l.snaps[d]; ok {
+		return s
+	}
+	s := l.CDN.Generate(d)
+	l.snaps[d] = s
+	return s
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID    string // "Table 2", "Figure 4", ...
+	Title string
+	Text  string // rendered table / series data
+
+	// Metrics are this run's headline numbers; Paper holds the values
+	// the paper reports for the same quantities (keys match Metrics
+	// where a direct counterpart exists).
+	Metrics map[string]float64
+	Paper   map[string]float64
+}
+
+// Runner regenerates one experiment.
+type Runner struct {
+	Name string // canonical ID, e.g. "Table2"
+	Desc string
+	Run  func(*Lab) *Result
+}
+
+// Runners lists every experiment in paper order.
+func Runners() []Runner {
+	return []Runner{
+		{"Table1", "Summary of datasets", Table1},
+		{"Table2", "Top 5 (country, AS) by estimated users", Table2},
+		{"Figure1", "Users and samples over time for major French ISPs", Figure1},
+		{"Figure2", "Broadband Subscriber vs APNIC user percentages", Figure2},
+		{"Figure3", "Overlap of (country, org) pairs and weighted coverage", Figure3},
+		{"Table3", "Per-country traffic coverage of overlapping pairs", Table3},
+		{"Table4", "Agreement conditions across correlation metrics", Table4},
+		{"Figure4", "Pearson vs Kendall agreement, User-Agents and traffic", Figure4},
+		{"Figure5", "Outlier countries: Russia, Norway, India, Myanmar", Figure5},
+		{"Figure6", "Samples vs user estimates, log-log elasticity", Figure6},
+		{"Figure7", "Fraction of 2024 days above the elasticity bound", Figure7},
+		{"Figure8", "K-S stability of user distributions across granularities", Figure8},
+		{"Figure9", "M-Lab agreement predicts CDN agreement", Figure9},
+		{"Figure10", "MIC of APNIC vs APNIC+IXP against CDN volume", Figure10},
+		{"Figure11", "Consolidation: orgs needed to cover 95% of users", Figure11},
+		{"Figure12", "Max User-Agent share differences across 2024 days", Figure12},
+		{"Table6", "Allocated and advertised ASN changes per region", Table6},
+		{"Figure13", "IXP capacity vs PNI capacity", Figure13},
+		{"ExtDrivers", "Extension: key players driving consolidation", ExtDrivers},
+		{"ExtTrafficModel", "Extension: cross-validated traffic model", ExtTrafficModel},
+		{"ExtProxies", "Extension: public traffic proxies vs CDN ground truth", ExtProxies},
+	}
+}
+
+// RunnerByName finds a runner by its canonical name (case-insensitive).
+func RunnerByName(name string) (Runner, bool) {
+	for _, r := range Runners() {
+		if strings.EqualFold(r.Name, name) {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// sortedMetricKeys returns a result's metric keys in stable order.
+func sortedMetricKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

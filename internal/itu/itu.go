@@ -1,0 +1,87 @@
+// Package itu simulates the ITU-T per-country Internet-user estimates that
+// APNIC uses to normalize ad-impression counts into user populations
+// (§3.2). The estimates track the ground truth with weekly revision noise,
+// plus occasional large one-week anomalies — the paper's Figure 1 shows
+// such an event for France on 2019-05-13, when the reported user total was
+// 6 million higher than any other week of the decade. Because APNIC
+// rescales every AS in a country by this denominator, a spike in the ITU
+// series shows up as a synchronized jump in every AS's estimated users.
+package itu
+
+import (
+	"fmt"
+
+	"repro/internal/dates"
+	"repro/internal/rng"
+	"repro/internal/world"
+)
+
+// Estimator produces the simulated ITU weekly user-estimate series.
+type Estimator struct {
+	w    *world.World
+	root *rng.Stream
+
+	// noiseSigma is the weekly multiplicative revision noise (log scale).
+	noiseSigma float64
+}
+
+// New returns an estimator over the given world. Different seeds give
+// different revision-noise realizations.
+func New(w *world.World, seed uint64) *Estimator {
+	return &Estimator{
+		w:          w,
+		root:       rng.New(seed).Split("itu"),
+		noiseSigma: 0.012,
+	}
+}
+
+// weekIndex returns the ISO-ish week bucket of a date (7-day blocks since
+// the epoch), the granularity at which the ITU series is revised.
+func weekIndex(d dates.Date) int {
+	n := d.DayNumber()
+	if n < 0 {
+		n -= 6
+	}
+	return n / 7
+}
+
+// Users returns the ITU-style estimate of a country's Internet users for
+// the week containing d.
+func (e *Estimator) Users(country string, d dates.Date) float64 {
+	base := e.w.TotalUsers(country, d)
+	if base <= 0 {
+		return 0
+	}
+	wk := weekIndex(d)
+	s := e.root.Split(fmt.Sprintf("%s/%d", country, wk))
+	v := base * s.LogNormal(0, e.noiseSigma)
+	if f := e.spikeFactor(country, wk); f != 1 {
+		v *= f
+	}
+	return v
+}
+
+// spikeFactor returns the anomaly multiplier for a (country, week).
+// France's 2019-05-13 week is a guaranteed event; every country
+// additionally has a small number of random anomaly weeks per decade.
+func (e *Estimator) spikeFactor(country string, wk int) float64 {
+	if country == "FR" && wk == weekIndex(dates.New(2019, 5, 13)) {
+		return 1.10 // ≈ +6M users on a ~62M base
+	}
+	// Random anomalies: ~0.3% of weeks, i.e. roughly 1-2 per decade.
+	s := e.root.Split(fmt.Sprintf("spike/%s/%d", country, wk))
+	if s.Bool(0.003) {
+		return s.Range(1.05, 1.2)
+	}
+	return 1
+}
+
+// WorldTotal returns the ITU-style estimate of all Internet users across
+// every country in the world, used for APNIC's "% of Internet" column.
+func (e *Estimator) WorldTotal(d dates.Date) float64 {
+	total := 0.0
+	for _, code := range e.w.Countries() {
+		total += e.Users(code, d)
+	}
+	return total
+}

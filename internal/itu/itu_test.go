@@ -1,0 +1,92 @@
+package itu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/world"
+)
+
+var testW = world.MustBuild(world.Config{Seed: 5})
+
+func TestDeterminism(t *testing.T) {
+	e1 := New(testW, 9)
+	e2 := New(testW, 9)
+	d := dates.New(2024, 3, 1)
+	for _, c := range []string{"FR", "IN", "RU"} {
+		if e1.Users(c, d) != e2.Users(c, d) {
+			t.Fatalf("estimator not deterministic for %s", c)
+		}
+	}
+}
+
+func TestTracksGroundTruth(t *testing.T) {
+	e := New(testW, 9)
+	d := dates.New(2024, 3, 1)
+	for _, c := range []string{"FR", "IN", "US", "VU"} {
+		truth := testW.TotalUsers(c, d)
+		est := e.Users(c, d)
+		if est <= 0 {
+			t.Fatalf("%s estimate non-positive", c)
+		}
+		if math.Abs(est-truth)/truth > 0.25 {
+			t.Errorf("%s estimate %v strays from truth %v", c, est, truth)
+		}
+	}
+}
+
+func TestWeeklyGranularity(t *testing.T) {
+	e := New(testW, 9)
+	// Within one 7-day block the noise draw is constant, so day-to-day
+	// changes reflect only the smooth ground-truth drift.
+	a := e.Users("DE", dates.New(2024, 3, 4)) // Monday-anchored block
+	b := e.Users("DE", dates.New(2024, 3, 5))
+	rel := math.Abs(a-b) / a
+	if rel > 0.001 {
+		t.Errorf("intra-week jump of %v; noise should be weekly", rel)
+	}
+}
+
+func TestFranceSpikeEvent(t *testing.T) {
+	e := New(testW, 9)
+	spike := e.Users("FR", dates.New(2019, 5, 13))
+	// Compare against neighboring weeks.
+	before := e.Users("FR", dates.New(2019, 4, 29))
+	after := e.Users("FR", dates.New(2019, 6, 3))
+	if spike < 1.06*before || spike < 1.06*after {
+		t.Errorf("no France anomaly: before=%v spike=%v after=%v", before, spike, after)
+	}
+}
+
+func TestSpikesAreRare(t *testing.T) {
+	e := New(testW, 9)
+	days := dates.Range(dates.New(2014, 1, 6), dates.New(2023, 12, 25), 7)
+	for _, c := range []string{"DE", "US", "JP"} {
+		spikes := 0
+		var prev float64
+		for i, d := range days {
+			v := e.Users(c, d)
+			if i > 0 && v > prev*1.05 {
+				spikes++
+			}
+			prev = v
+		}
+		if spikes > 8 {
+			t.Errorf("%s has %d spike weeks in a decade; should be rare", c, spikes)
+		}
+	}
+}
+
+func TestWorldTotal(t *testing.T) {
+	e := New(testW, 9)
+	d := dates.New(2024, 3, 1)
+	total := e.WorldTotal(d)
+	fr := e.Users("FR", d)
+	if total <= fr {
+		t.Fatal("world total must exceed a single country")
+	}
+	if total < 3e9 || total > 7e9 {
+		t.Errorf("world total = %v, want a few billion", total)
+	}
+}

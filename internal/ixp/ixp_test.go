@@ -1,0 +1,160 @@
+package ixp
+
+import (
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/geo"
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+var testW = world.MustBuild(world.Config{Seed: 11})
+
+func TestDeterministic(t *testing.T) {
+	d := dates.New(2023, 7, 20)
+	a := New(testW, 6).Generate(d)
+	b := New(testW, 6).Generate(d)
+	if len(a.Capacities) != len(b.Capacities) {
+		t.Fatal("capacity sets differ")
+	}
+	for k, v := range a.Capacities {
+		if b.Capacities[k] != v {
+			t.Fatalf("nondeterministic capacity for %v", k)
+		}
+	}
+}
+
+func TestPublicRegistryIncomplete(t *testing.T) {
+	snap := New(testW, 6).Generate(dates.New(2023, 7, 20))
+	// Every registered org has a hidden PNI record, but not vice versa.
+	if len(snap.Capacities) >= len(snap.PNI) {
+		t.Fatalf("public registry (%d) should be smaller than PNI truth (%d)", len(snap.Capacities), len(snap.PNI))
+	}
+	for k := range snap.Capacities {
+		if _, ok := snap.PNI[k]; !ok {
+			t.Fatalf("registered org %v missing PNI ground truth", k)
+		}
+	}
+}
+
+func TestAfricaCoverageThin(t *testing.T) {
+	snap := New(testW, 6).Generate(dates.New(2023, 7, 20))
+	coverage := func(cont geo.Continent) float64 {
+		reg, all := 0, 0
+		for k := range snap.PNI {
+			c, _ := geo.ByCode(k.Country)
+			if c.Continent() != cont {
+				continue
+			}
+			all++
+			if _, ok := snap.Capacities[k]; ok {
+				reg++
+			}
+		}
+		if all == 0 {
+			return 0
+		}
+		return float64(reg) / float64(all)
+	}
+	if coverage(geo.Africa) >= coverage(geo.Europe) {
+		t.Errorf("Africa coverage %v not below Europe %v", coverage(geo.Africa), coverage(geo.Europe))
+	}
+}
+
+func TestPortQuantization(t *testing.T) {
+	snap := New(testW, 6).Generate(dates.New(2023, 7, 20))
+	for k, v := range snap.Capacities {
+		if v <= 0 {
+			t.Fatalf("non-positive capacity for %v", k)
+		}
+		// Every capacity is a whole number of 1G ports.
+		if rem := v / port1G; rem != float64(int64(rem)) {
+			t.Fatalf("capacity %v for %v is not port-quantized", v, k)
+		}
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want float64
+	}{
+		{0, 0},
+		{0.4 * port1G, 0},
+		{0.7 * port1G, port1G},
+		{3.2 * port1G, 3 * port1G},
+		{25 * Gbps, 25 * Gbps},
+		{450 * Gbps, 450 * Gbps},
+	}
+	for _, c := range cases {
+		if got := quantize(c.in); got != c.want {
+			t.Errorf("quantize(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIXPPNICorrelationLoose(t *testing.T) {
+	// Appendix E: IXP capacity is a reasonable but imperfect proxy for
+	// PNI capacity — R² should be mid-range, far from 0 and from 1.
+	snap := New(testW, 6).Generate(dates.New(2023, 7, 20))
+	var xs, ys []float64
+	for k, capv := range snap.Capacities {
+		pni := snap.PNI[k]
+		if pni <= 0 {
+			continue
+		}
+		xs = append(xs, capv)
+		ys = append(ys, pni)
+	}
+	if len(xs) < 200 {
+		t.Fatalf("only %d paired observations", len(xs))
+	}
+	fit := stats.LinearRegression(xs, ys)
+	if fit.R2 < 0.15 || fit.R2 > 0.9 {
+		t.Errorf("IXP↔PNI R² = %v; want loose mid-range correlation", fit.R2)
+	}
+	if fit.Slope <= 0 {
+		t.Errorf("IXP↔PNI slope %v should be positive", fit.Slope)
+	}
+}
+
+func TestCapacityTracksTraffic(t *testing.T) {
+	snap := New(testW, 6).Generate(dates.New(2023, 7, 20))
+	d := dates.New(2023, 7, 20)
+	var xs, ys []float64
+	for k, capv := range snap.Capacities {
+		e := testW.Entry(k.Country, k.Org)
+		if e == nil {
+			continue
+		}
+		traffic := testW.TrueUsers(k.Country, k.Org, d) * e.TrafficPerUser
+		if traffic <= 0 {
+			continue
+		}
+		xs = append(xs, traffic)
+		ys = append(ys, capv)
+	}
+	r := stats.Spearman(xs, ys)
+	if r < 0.5 {
+		t.Errorf("capacity-traffic Spearman = %v; capacity should track demand", r)
+	}
+}
+
+func TestCountryCapacitiesAndPairs(t *testing.T) {
+	snap := New(testW, 6).Generate(dates.New(2023, 7, 20))
+	fr := snap.CountryCapacities("FR")
+	if len(fr) < 3 {
+		t.Fatalf("only %d French registrations", len(fr))
+	}
+	pairs := snap.Pairs()
+	if len(pairs) != len(snap.Capacities) {
+		t.Fatal("Pairs length mismatch")
+	}
+	for i := 1; i < len(pairs); i++ {
+		a, b := pairs[i-1], pairs[i]
+		if a.Country > b.Country || (a.Country == b.Country && a.Org >= b.Org) {
+			t.Fatal("Pairs not sorted")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package mlab simulates the M-Lab NDT speed-test dataset (§3.5):
+// voluntary, user-initiated browser speed tests, counted per
+// (country, org). The modelled biases follow the paper:
+//
+//   - Voluntary initiation: a persistent per-org "tech-savviness" skew
+//     distorts relative counts.
+//   - Search-engine gating: in countries where M-Lab is not integrated
+//     into Google Search results, almost nobody finds the test — the
+//     paper excludes those countries, and the generator reflects the
+//     collapse in counts.
+//   - Poor-performance triggering: users test more when the network
+//     misbehaves, adding day-level noise.
+//   - Shutdown days suppress testing like everything else.
+package mlab
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dates"
+	"repro/internal/orgs"
+	"repro/internal/rng"
+	"repro/internal/world"
+)
+
+// Generator produces M-Lab-style test-count datasets over a world.
+type Generator struct {
+	W *world.World
+
+	// BaseRate is the expected tests per user per month in integrated
+	// countries.
+	BaseRate float64
+
+	root *rng.Stream
+}
+
+// New returns a generator with defaults.
+func New(w *world.World, seed uint64) *Generator {
+	return &Generator{W: w, BaseRate: 0.02, root: rng.New(seed).Split("mlab")}
+}
+
+// Dataset holds one month of test counts.
+type Dataset struct {
+	Month  dates.Date // first day of the month
+	Counts map[orgs.CountryOrg]float64
+}
+
+// Integrated reports whether M-Lab is surfaced in search results for a
+// country — the paper's first filtering step (§5.2).
+func (g *Generator) Integrated(country string) bool {
+	m := g.W.Market(country)
+	return m != nil && m.Country.MLabIntegrated
+}
+
+// Generate produces the test counts for the month containing d.
+func (g *Generator) Generate(d dates.Date) *Dataset {
+	month := dates.New(d.Year, d.Month, 1)
+	ds := &Dataset{Month: month, Counts: map[orgs.CountryOrg]float64{}}
+	for _, cc := range g.W.Countries() {
+		m := g.W.Market(cc)
+		rate := g.BaseRate
+		if !m.Country.MLabIntegrated {
+			// Only users who seek out the M-Lab site run tests.
+			rate *= 0.02
+		}
+		shut := g.W.ShutdownWindowFactor(cc, month.AddDays(27), 28)
+		for _, e := range m.ActiveEntries(month) {
+			if !e.Org.Type.HostsUsers() {
+				continue
+			}
+			users := g.W.TrueUsers(cc, e.Org.ID, month)
+			// Persistent voluntary-tester skew per org.
+			savvy := g.root.Split("savvy/"+cc+"/"+e.Org.ID).LogNormal(0, 0.25)
+			// Month-level performance-trigger noise.
+			noise := g.root.Split(fmt.Sprintf("m/%s/%s/%s", cc, e.Org.ID, month)).LogNormal(0, 0.12)
+			mean := users * rate * savvy * noise * shut
+			if mean <= 0 {
+				continue
+			}
+			n := g.root.Split(fmt.Sprintf("n/%s/%s/%s", cc, e.Org.ID, month)).Poisson(mean)
+			if n < 20 {
+				continue // too few tests to be published meaningfully
+			}
+			ds.Counts[orgs.CountryOrg{Country: cc, Org: e.Org.ID}] = float64(n)
+		}
+	}
+	return ds
+}
+
+// CountryShares returns one country's per-org share of tests, summing
+// to 1.
+func (ds *Dataset) CountryShares(country string) map[string]float64 {
+	out := map[string]float64{}
+	total := 0.0
+	for k, v := range ds.Counts {
+		if k.Country == country {
+			out[k.Org] = v
+			total += v
+		}
+	}
+	if total > 0 {
+		for k := range out {
+			out[k] /= total
+		}
+	}
+	return out
+}
+
+// Countries returns the sorted countries with published counts.
+func (ds *Dataset) Countries() []string {
+	seen := map[string]bool{}
+	for k := range ds.Counts {
+		seen[k.Country] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,89 @@
+package netdb
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Allocator hands out non-overlapping IPv4 blocks, skipping reserved
+// ranges, the way an RIR delegates address space. Allocations are
+// deterministic: the same sequence of requests yields the same blocks.
+type Allocator struct {
+	cursor uint32
+}
+
+// reservedRanges lists IPv4 space an allocator must never hand out.
+var reservedRanges = []netip.Prefix{
+	netip.MustParsePrefix("0.0.0.0/8"),
+	netip.MustParsePrefix("10.0.0.0/8"),
+	netip.MustParsePrefix("100.64.0.0/10"),
+	netip.MustParsePrefix("127.0.0.0/8"),
+	netip.MustParsePrefix("169.254.0.0/16"),
+	netip.MustParsePrefix("172.16.0.0/12"),
+	netip.MustParsePrefix("192.0.2.0/24"),
+	netip.MustParsePrefix("192.168.0.0/16"),
+	netip.MustParsePrefix("198.18.0.0/15"),
+	netip.MustParsePrefix("224.0.0.0/3"), // multicast + class E + broadcast
+}
+
+// NewAllocator returns an allocator starting at 1.0.0.0.
+func NewAllocator() *Allocator {
+	return &Allocator{cursor: 1 << 24} // 1.0.0.0
+}
+
+// reservedContaining returns the reserved range containing addr, if any.
+func reservedContaining(addr netip.Addr) (netip.Prefix, bool) {
+	for _, r := range reservedRanges {
+		if r.Contains(addr) {
+			return r, true
+		}
+	}
+	return netip.Prefix{}, false
+}
+
+// Alloc returns the next free block with the given prefix length
+// (8 ≤ bits ≤ 30). It returns an error when the space is exhausted.
+func (a *Allocator) Alloc(bits int) (netip.Prefix, error) {
+	if bits < 8 || bits > 30 {
+		return netip.Prefix{}, fmt.Errorf("netdb: prefix length %d out of [8,30]", bits)
+	}
+	size := uint32(1) << (32 - bits)
+	for {
+		// Align the cursor to the block size.
+		if rem := a.cursor % size; rem != 0 {
+			a.cursor += size - rem
+		}
+		if a.cursor < 1<<24 { // wrapped around
+			return netip.Prefix{}, fmt.Errorf("netdb: IPv4 space exhausted")
+		}
+		p := PrefixFromUint32(a.cursor, bits)
+		// The block is clean only if neither endpoint is reserved and no
+		// reserved range starts inside it.
+		if r, hit := reservedContaining(p.Addr()); hit {
+			// Jump past the reserved range.
+			base := AddrToUint32(r.Addr())
+			a.cursor = base + 1<<(32-r.Bits())
+			continue
+		}
+		last := AddrFromUint32(a.cursor + size - 1)
+		if r, hit := reservedContaining(last); hit {
+			base := AddrToUint32(r.Addr())
+			a.cursor = base + 1<<(32-r.Bits())
+			continue
+		}
+		a.cursor += size
+		return p, nil
+	}
+}
+
+// BitsForHosts returns the smallest prefix length whose block holds at
+// least n addresses, clamped to [8, 30].
+func BitsForHosts(n int64) int {
+	bits := 30
+	var capacity int64 = 4
+	for bits > 8 && capacity < n {
+		bits--
+		capacity <<= 1
+	}
+	return bits
+}

@@ -1,0 +1,170 @@
+// Package rir simulates the regional ASN delegation statistics behind the
+// paper's Appendix D (Table 6): per-UN-subregion counts of allocated and
+// advertised AS numbers over 2019–2024. The base counts come from the
+// world's organizations; regional growth dynamics (Latin American and
+// Asian expansion, North American and European contraction) are applied
+// on top with yearly noise, so the generated table has the right shape
+// without being a verbatim copy of the paper's percentages.
+package rir
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/world"
+)
+
+// Counts is one region-year's registry state.
+type Counts struct {
+	Allocated  int // ASNs delegated by the RIR
+	Advertised int // ASNs visible in the global routing table
+}
+
+// Generator produces per-region ASN counts by year.
+type Generator struct {
+	W    *world.World
+	root *rng.Stream
+}
+
+// New returns a generator.
+func New(w *world.World, seed uint64) *Generator {
+	return &Generator{W: w, root: rng.New(seed).Split("rir")}
+}
+
+// regionTrend gives the annualized growth rates of allocated and
+// advertised ASNs for 2019→2024, per subregion. These encode the
+// qualitative structure of the paper's Table 6: the Caribbean and Eastern
+// Asia boom, Northern America and Europe shrink.
+func regionTrend(s geo.Subregion) (allocPerYear, advPerYear float64) {
+	switch s {
+	case geo.Caribbean:
+		return 0.038, 0.059
+	case geo.CentralAmerica:
+		return 0.014, 0.020
+	case geo.SouthAmer:
+		return 0.006, 0.017
+	case geo.NorthernAmer:
+		return -0.032, -0.026
+	case geo.EasternAsia:
+		return 0.102, 0.182
+	case geo.OtherAsia:
+		return 0.073, 0.083
+	case geo.SouthernAsia:
+		return 0.093, 0.049
+	case geo.SouthEastAsia:
+		return 0.050, 0.045
+	case geo.EasternAfrica:
+		return 0.032, 0.037
+	case geo.SouthernAfrica:
+		return 0.018, 0.023
+	case geo.NorthernAfrica:
+		return 0.008, 0.021
+	case geo.OtherAfrica:
+		return 0.015, 0.021
+	case geo.EasternEurope:
+		return -0.065, -0.046
+	case geo.SouthernEurope:
+		return -0.026, -0.010
+	case geo.NorthernEurope:
+		return -0.028, -0.021
+	case geo.WesternEurope:
+		return -0.023, -0.011
+	case geo.AustraliaNZ:
+		return -0.027, -0.022
+	default: // Oceania
+		return -0.026, -0.021
+	}
+}
+
+// baseCounts derives each region's 2019 registry size from the world:
+// every org ASN is allocated, and a multiple of that is historically
+// allocated-but-dark space.
+func (g *Generator) baseCounts() map[geo.Subregion]Counts {
+	out := map[geo.Subregion]Counts{}
+	for _, cc := range g.W.Countries() {
+		m := g.W.Market(cc)
+		region := m.Country.Subregion
+		c := out[region]
+		for _, e := range m.Entries {
+			c.Advertised += len(e.Org.ASNs)
+		}
+		out[region] = c
+	}
+	for region, c := range out {
+		s := g.root.Split("base/" + string(region))
+		c.Allocated = int(float64(c.Advertised) * s.Range(1.3, 1.8))
+		out[region] = c
+	}
+	return out
+}
+
+// Year returns the registry counts per subregion for a year in
+// [2019, 2024], with mild year-level noise.
+func (g *Generator) Year(year int) map[geo.Subregion]Counts {
+	base := g.baseCounts()
+	out := map[geo.Subregion]Counts{}
+	for region, b := range base {
+		alloc, adv := regionTrend(region)
+		years := float64(year - 2019)
+		s := g.root.Split("noise/" + string(region))
+		var offset float64
+		for y := 2019; y < year; y++ {
+			offset += s.Norm(0, 0.005)
+		}
+		growA := pow1p(alloc, years) * (1 + offset)
+		growV := pow1p(adv, years) * (1 + offset)
+		out[region] = Counts{
+			Allocated:  int(float64(b.Allocated) * growA),
+			Advertised: int(float64(b.Advertised) * growV),
+		}
+	}
+	return out
+}
+
+func pow1p(rate, years float64) float64 {
+	v := 1.0
+	for i := 0.0; i < years; i++ {
+		v *= 1 + rate
+	}
+	return v
+}
+
+// Change summarizes the percentage change between two years for every
+// region, in Table 6 row order.
+type Change struct {
+	Region        geo.Subregion
+	AllocatedPct  float64
+	AdvertisedPct float64
+}
+
+// Changes computes per-region percentage changes from one year to
+// another.
+func (g *Generator) Changes(fromYear, toYear int) []Change {
+	from := g.Year(fromYear)
+	to := g.Year(toYear)
+	var out []Change
+	for _, region := range geo.AllSubregions() {
+		f, okF := from[region]
+		t, okT := to[region]
+		if !okF || !okT || f.Allocated == 0 || f.Advertised == 0 {
+			continue
+		}
+		out = append(out, Change{
+			Region:        region,
+			AllocatedPct:  100 * (float64(t.Allocated)/float64(f.Allocated) - 1),
+			AdvertisedPct: 100 * (float64(t.Advertised)/float64(f.Advertised) - 1),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return regionOrder(out[i].Region) < regionOrder(out[j].Region) })
+	return out
+}
+
+func regionOrder(s geo.Subregion) int {
+	for i, r := range geo.AllSubregions() {
+		if r == s {
+			return i
+		}
+	}
+	return len(geo.AllSubregions())
+}

@@ -1,0 +1,85 @@
+package rir
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/world"
+)
+
+var testW = world.MustBuild(world.Config{Seed: 11})
+
+func TestDeterministic(t *testing.T) {
+	a := New(testW, 8).Year(2024)
+	b := New(testW, 8).Year(2024)
+	for region, c := range a {
+		if b[region] != c {
+			t.Fatalf("nondeterministic counts for %s", region)
+		}
+	}
+}
+
+func TestBaseCountsPositive(t *testing.T) {
+	counts := New(testW, 8).Year(2019)
+	for _, region := range geo.AllSubregions() {
+		c, ok := counts[region]
+		if !ok {
+			t.Errorf("region %s missing", region)
+			continue
+		}
+		if c.Advertised <= 0 || c.Allocated <= 0 {
+			t.Errorf("%s has non-positive counts: %+v", region, c)
+		}
+		if c.Allocated < c.Advertised {
+			t.Errorf("%s: allocated %d < advertised %d", region, c.Allocated, c.Advertised)
+		}
+	}
+}
+
+func TestChangesDirections(t *testing.T) {
+	changes := New(testW, 8).Changes(2019, 2024)
+	if len(changes) != len(geo.AllSubregions()) {
+		t.Fatalf("%d change rows, want %d", len(changes), len(geo.AllSubregions()))
+	}
+	byRegion := map[geo.Subregion]Change{}
+	for _, c := range changes {
+		byRegion[c.Region] = c
+	}
+	// The qualitative structure of Table 6.
+	positives := []geo.Subregion{geo.Caribbean, geo.EasternAsia, geo.SouthernAsia, geo.SouthEastAsia, geo.EasternAfrica}
+	for _, r := range positives {
+		if byRegion[r].AllocatedPct <= 0 {
+			t.Errorf("%s allocated change %v, want positive", r, byRegion[r].AllocatedPct)
+		}
+	}
+	negatives := []geo.Subregion{geo.NorthernAmer, geo.EasternEurope, geo.NorthernEurope, geo.WesternEurope, geo.AustraliaNZ}
+	for _, r := range negatives {
+		if byRegion[r].AllocatedPct >= 0 {
+			t.Errorf("%s allocated change %v, want negative", r, byRegion[r].AllocatedPct)
+		}
+	}
+	// Eastern Asia advertises much faster than it allocates.
+	ea := byRegion[geo.EasternAsia]
+	if ea.AdvertisedPct <= ea.AllocatedPct {
+		t.Errorf("Eastern Asia advertised %v should outpace allocated %v", ea.AdvertisedPct, ea.AllocatedPct)
+	}
+}
+
+func TestChangesRowOrder(t *testing.T) {
+	changes := New(testW, 8).Changes(2019, 2024)
+	order := geo.AllSubregions()
+	for i, c := range changes {
+		if c.Region != order[i] {
+			t.Fatalf("row %d is %s, want %s", i, c.Region, order[i])
+		}
+	}
+}
+
+func TestSameYearNoChange(t *testing.T) {
+	changes := New(testW, 8).Changes(2019, 2019)
+	for _, c := range changes {
+		if c.AllocatedPct != 0 || c.AdvertisedPct != 0 {
+			t.Errorf("%s: nonzero change for identical years: %+v", c.Region, c)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson product-moment correlation of (xs, ys).
+// It returns NaN if the inputs differ in length, have fewer than two
+// points, or either side has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns Spearman's rank correlation: the Pearson correlation of
+// the rank-transformed data, with average ranks assigned to ties.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// Ranks returns 1-based fractional ranks of xs, assigning tied values the
+// average of the ranks they span (the "mid-rank" convention).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank of positions i..j (1-based).
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// KendallTau returns Kendall's tau-b rank correlation, which corrects for
+// ties on both axes. It runs in O(n log n) using Knight's algorithm:
+// sort by (x, y), count tie groups, and count discordant swaps with a
+// merge sort over y. Tau-b is what the paper uses to compare per-country
+// organization rankings between the APNIC and CDN datasets.
+//
+// It returns NaN if the inputs differ in length, have fewer than two
+// points, or either axis is entirely tied.
+func KendallTau(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if xs[idx[a]] != xs[idx[b]] {
+			return xs[idx[a]] < xs[idx[b]]
+		}
+		return ys[idx[a]] < ys[idx[b]]
+	})
+
+	y := make([]float64, n)
+	x := make([]float64, n)
+	for i, id := range idx {
+		x[i] = xs[id]
+		y[i] = ys[id]
+	}
+
+	n0 := float64(n) * float64(n-1) / 2
+
+	// n1: pairs tied in x; n3: pairs tied in both x and y.
+	var n1, n3 float64
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[j+1] == x[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		n1 += t * (t - 1) / 2
+		// Within the x-tie group, count y ties (group is y-sorted).
+		for a := i; a <= j; {
+			b := a
+			for b+1 <= j && y[b+1] == y[a] {
+				b++
+			}
+			u := float64(b - a + 1)
+			n3 += u * (u - 1) / 2
+			a = b + 1
+		}
+		i = j + 1
+	}
+
+	// Count swaps needed to sort y (equivalent to discordant pairs among
+	// pairs not tied in x).
+	swaps := mergeCountSwaps(append([]float64(nil), y...))
+
+	// n2: pairs tied in y, counted over the fully y-sorted sequence.
+	ySorted := append([]float64(nil), y...)
+	sort.Float64s(ySorted)
+	var n2 float64
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && ySorted[j+1] == ySorted[i] {
+			j++
+		}
+		u := float64(j - i + 1)
+		n2 += u * (u - 1) / 2
+		i = j + 1
+	}
+
+	denom := math.Sqrt((n0 - n1) * (n0 - n2))
+	if denom == 0 {
+		return math.NaN()
+	}
+	s := n0 - n1 - n2 + n3 - 2*float64(swaps)
+	return s / denom
+}
+
+// mergeCountSwaps sorts ys in place and returns the number of exchanges a
+// bubble sort would need — i.e. the number of inversions.
+func mergeCountSwaps(ys []float64) int64 {
+	n := len(ys)
+	if n < 2 {
+		return 0
+	}
+	buf := make([]float64, n)
+	var rec func(lo, hi int) int64
+	rec = func(lo, hi int) int64 {
+		if hi-lo < 2 {
+			return 0
+		}
+		mid := (lo + hi) / 2
+		inv := rec(lo, mid) + rec(mid, hi)
+		i, j, k := lo, mid, lo
+		for i < mid && j < hi {
+			if ys[i] <= ys[j] {
+				buf[k] = ys[i]
+				i++
+			} else {
+				buf[k] = ys[j]
+				j++
+				inv += int64(mid - i)
+			}
+			k++
+		}
+		for i < mid {
+			buf[k] = ys[i]
+			i++
+			k++
+		}
+		for j < hi {
+			buf[k] = ys[j]
+			j++
+			k++
+		}
+		copy(ys[lo:hi], buf[lo:hi])
+		return inv
+	}
+	return rec(0, n)
+}

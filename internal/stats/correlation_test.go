@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	approx(t, Pearson(xs, ys), 1, 1e-12, "Pearson positive")
+	neg := []float64{10, 8, 6, 4, 2}
+	approx(t, Pearson(xs, neg), -1, 1e-12, "Pearson negative")
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	// Hand-computed: sxy=16, sxx=17.5, syy=23.333 → r = 16/√408.33.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2, 1, 4, 3, 7, 5}
+	approx(t, Pearson(xs, ys), 0.79179, 1e-4, "Pearson known")
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})) {
+		t.Fatal("Pearson with zero x variance should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1}, []float64{2})) {
+		t.Fatal("Pearson with one point should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 2}, []float64{1, 2, 3})) {
+		t.Fatal("Pearson with mismatched lengths should be NaN")
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		approx(t, got[i], want[i], 1e-12, "rank")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Spearman is 1 for any monotone relationship, even nonlinear.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	approx(t, Spearman(xs, ys), 1, 1e-12, "Spearman cubic")
+}
+
+// naiveKendall is an O(n²) tau-b reference used to validate the
+// O(n log n) Knight implementation.
+func naiveKendall(xs, ys []float64) float64 {
+	n := len(xs)
+	var conc, disc, tieX, tieY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := xs[i] - xs[j]
+			dy := ys[i] - ys[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// tied in both: excluded from all terms
+			case dx == 0:
+				tieX++
+			case dy == 0:
+				tieY++
+			case dx*dy > 0:
+				conc++
+			default:
+				disc++
+			}
+		}
+	}
+	denom := math.Sqrt((conc + disc + tieX) * (conc + disc + tieY))
+	if denom == 0 {
+		return math.NaN()
+	}
+	return (conc - disc) / denom
+}
+
+func TestKendallPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, KendallTau(xs, []float64{10, 20, 30, 40, 50}), 1, 1e-12, "tau concordant")
+	approx(t, KendallTau(xs, []float64{50, 40, 30, 20, 10}), -1, 1e-12, "tau discordant")
+}
+
+func TestKendallKnownValue(t *testing.T) {
+	// scipy.stats.kendalltau([12,2,1,12,2],[1,4,7,1,0]) = -0.4714045
+	xs := []float64{12, 2, 1, 12, 2}
+	ys := []float64{1, 4, 7, 1, 0}
+	approx(t, KendallTau(xs, ys), -0.4714045, 1e-6, "tau-b with ties")
+}
+
+func TestKendallMatchesNaive(t *testing.T) {
+	s := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + s.Intn(40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			// Coarse grid forces plenty of ties.
+			xs[i] = float64(s.Intn(6))
+			ys[i] = float64(s.Intn(6))
+		}
+		want := naiveKendall(xs, ys)
+		got := KendallTau(xs, ys)
+		if math.IsNaN(want) != math.IsNaN(got) {
+			t.Fatalf("trial %d: NaN mismatch: fast=%v naive=%v xs=%v ys=%v", trial, got, want, xs, ys)
+		}
+		if !math.IsNaN(want) && math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: fast=%v naive=%v xs=%v ys=%v", trial, got, want, xs, ys)
+		}
+	}
+}
+
+func TestKendallAllTied(t *testing.T) {
+	if !math.IsNaN(KendallTau([]float64{1, 1, 1}, []float64{1, 2, 3})) {
+		t.Fatal("tau with fully tied x should be NaN")
+	}
+}
+
+func TestMergeCountSwaps(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want int64
+	}{
+		{[]float64{1, 2, 3}, 0},
+		{[]float64{3, 2, 1}, 3},
+		{[]float64{2, 1, 3}, 1},
+		{[]float64{1}, 0},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		in := append([]float64(nil), c.in...)
+		if got := mergeCountSwaps(in); got != c.want {
+			t.Errorf("inversions(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: correlations are symmetric under exchanging the two variables.
+func TestQuickCorrelationSymmetry(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		n := 5 + s.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = s.Norm(0, 1)
+			ys[i] = s.Norm(0, 1)
+		}
+		p1, p2 := Pearson(xs, ys), Pearson(ys, xs)
+		k1, k2 := KendallTau(xs, ys), KendallTau(ys, xs)
+		return math.Abs(p1-p2) < 1e-12 && math.Abs(k1-k2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: correlations are invariant under positive affine transforms.
+func TestQuickCorrelationAffineInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		n := 5 + s.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		zs := make([]float64, n)
+		for i := range xs {
+			xs[i] = s.Norm(0, 1)
+			ys[i] = s.Norm(0, 1)
+			zs[i] = 3*ys[i] + 7 // positive affine transform of ys
+		}
+		p1, p2 := Pearson(xs, ys), Pearson(xs, zs)
+		k1, k2 := KendallTau(xs, ys), KendallTau(xs, zs)
+		return math.Abs(p1-p2) < 1e-9 && math.Abs(k1-k2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tau is always in [-1, 1] when defined.
+func TestQuickKendallBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		n := 2 + s.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(s.Intn(8))
+			ys[i] = float64(s.Intn(8))
+		}
+		tau := KendallTau(xs, ys)
+		return math.IsNaN(tau) || (tau >= -1-1e-12 && tau <= 1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKendallTau1000(b *testing.B) {
+	s := rng.New(1)
+	xs := make([]float64, 1000)
+	ys := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = s.Float64()
+		ys[i] = s.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KendallTau(xs, ys)
+	}
+}

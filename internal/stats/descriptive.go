@@ -1,0 +1,183 @@
+// Package stats implements the statistical machinery the paper's validation
+// toolkit is built on: Pearson / Spearman / Kendall-Tau correlations, OLS
+// linear regression with confidence and prediction intervals, log-log
+// elasticity fits, two-sample Kolmogorov–Smirnov distances, empirical CDFs,
+// and an approximation of the Maximal Information Coefficient (MIC).
+//
+// Everything is implemented from scratch on the standard library, favoring
+// numerical robustness (compensated summation where it matters) and
+// explicit handling of ties, which are pervasive in per-organization user
+// share data.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sum returns the sum of xs using Kahan compensated summation.
+func Sum(xs []float64) float64 {
+	var sum, c float64
+	for _, x := range xs {
+		y := x - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance, or NaN if len < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs, or NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// It returns NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median returns the median of xs.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Normalize scales xs so it sums to 1 and returns the result as a new
+// slice. If the sum is zero it returns a zero slice of the same length.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	total := Sum(xs)
+	if total == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / total
+	}
+	return out
+}
+
+// HHI returns the Herfindahl–Hirschman concentration index of a share
+// vector (shares need not be pre-normalized). 1 = monopoly, 1/n = uniform.
+func HHI(shares []float64) float64 {
+	p := Normalize(shares)
+	var h float64
+	for _, s := range p {
+		h += s * s
+	}
+	return h
+}
+
+// Gini returns the Gini coefficient of non-negative values xs.
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var cum, weighted float64
+	for i, x := range s {
+		weighted += float64(i+1) * x
+		cum += x
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted/(float64(n)*cum) - float64(n+1)/float64(n))
+}
+
+// CoverCount returns the minimum number of the largest shares needed for
+// their sum to reach frac of the total. This is the paper's "number of
+// organizations needed to cover 95% of the population" metric (§6).
+// It returns 0 when the total mass is zero.
+func CoverCount(shares []float64, frac float64) int {
+	s := append([]float64(nil), shares...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	total := Sum(s)
+	if total <= 0 {
+		return 0
+	}
+	target := frac * total
+	var cum float64
+	for i, v := range s {
+		cum += v
+		if cum >= target {
+			return i + 1
+		}
+	}
+	return len(s)
+}

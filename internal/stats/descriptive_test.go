@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, name string) {
+	t.Helper()
+	if math.IsNaN(want) {
+		if !math.IsNaN(got) {
+			t.Errorf("%s = %v, want NaN", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "Mean")
+	approx(t, Variance(xs), 32.0/7.0, 1e-12, "Variance")
+	approx(t, StdDev(xs), math.Sqrt(32.0/7.0), 1e-12, "StdDev")
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("Variance of single point should be NaN")
+	}
+}
+
+func TestSumKahan(t *testing.T) {
+	// 1 + 1e-16 repeated: naive summation loses the small terms.
+	xs := make([]float64, 0, 1001)
+	xs = append(xs, 1)
+	for i := 0; i < 1000; i++ {
+		xs = append(xs, 1e-16)
+	}
+	got := Sum(xs)
+	want := 1 + 1000e-16
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("compensated sum = %.20f, want %.20f", got, want)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, Quantile(xs, 0), 1, 0, "q0")
+	approx(t, Quantile(xs, 1), 5, 0, "q1")
+	approx(t, Quantile(xs, 0.5), 3, 0, "median")
+	approx(t, Quantile(xs, 0.25), 2, 0, "q25")
+	approx(t, Quantile(xs, 0.1), 1.4, 1e-12, "q10 interpolated")
+}
+
+func TestQuantileUnsortedInput(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	approx(t, Median(xs), 3, 0, "median of unsorted")
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	approx(t, Min(xs), -1, 0, "Min")
+	approx(t, Max(xs), 7, 0, "Max")
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("Min/Max of empty should be NaN")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{1, 3})
+	approx(t, out[0], 0.25, 1e-12, "normalize[0]")
+	approx(t, out[1], 0.75, 1e-12, "normalize[1]")
+	zero := Normalize([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("Normalize of zero vector should be zero vector")
+	}
+}
+
+func TestHHI(t *testing.T) {
+	approx(t, HHI([]float64{1, 0, 0}), 1, 1e-12, "monopoly HHI")
+	approx(t, HHI([]float64{1, 1, 1, 1}), 0.25, 1e-12, "uniform HHI")
+}
+
+func TestGini(t *testing.T) {
+	approx(t, Gini([]float64{1, 1, 1, 1}), 0, 1e-12, "uniform Gini")
+	g := Gini([]float64{0, 0, 0, 100})
+	if g < 0.7 {
+		t.Fatalf("concentrated Gini = %v, want high", g)
+	}
+	if Gini([]float64{0, 0}) != 0 {
+		t.Fatal("all-zero Gini should be 0")
+	}
+}
+
+func TestCoverCount(t *testing.T) {
+	// 50/30/15/5: 95% needs 3 orgs, 50% needs 1, 100% needs all 4.
+	shares := []float64{5, 50, 15, 30}
+	if got := CoverCount(shares, 0.95); got != 3 {
+		t.Errorf("CoverCount 95%% = %d, want 3", got)
+	}
+	if got := CoverCount(shares, 0.5); got != 1 {
+		t.Errorf("CoverCount 50%% = %d, want 1", got)
+	}
+	if got := CoverCount(shares, 1.0); got != 4 {
+		t.Errorf("CoverCount 100%% = %d, want 4", got)
+	}
+	if got := CoverCount(nil, 0.95); got != 0 {
+		t.Errorf("CoverCount empty = %d, want 0", got)
+	}
+	if got := CoverCount([]float64{0, 0}, 0.95); got != 0 {
+		t.Errorf("CoverCount zero mass = %d, want 0", got)
+	}
+}
+
+// Property: CoverCount is monotone in the coverage fraction.
+func TestQuickCoverCountMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i := range raw {
+			raw[i] = math.Abs(raw[i])
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				raw[i] = 1
+			}
+		}
+		return CoverCount(raw, 0.5) <= CoverCount(raw, 0.95)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Normalize output sums to ~1 for any vector with positive mass.
+func TestQuickNormalizeSums(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i := range raw {
+			raw[i] = math.Abs(raw[i])
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) || raw[i] > 1e12 {
+				raw[i] = 1
+			}
+		}
+		raw[0] += 1
+		s := Sum(Normalize(raw))
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package ua synthesizes and parses HTTP User-Agent strings. The paper's
+// CDN dataset counts unique User-Agent strings per (country, org) as a
+// proxy for users behind shared IPs (§3.4); the simulator therefore needs
+// a UA population that is diverse enough to distinguish hosts, a parser to
+// classify device and browser families, and recognizable bot agents for
+// the bot-score filtering path.
+package ua
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// Class is the broad device class of a User-Agent.
+type Class int
+
+// Device classes.
+const (
+	Unknown Class = iota
+	Desktop
+	Mobile
+	Bot
+)
+
+func (c Class) String() string {
+	switch c {
+	case Desktop:
+		return "desktop"
+	case Mobile:
+		return "mobile"
+	case Bot:
+		return "bot"
+	default:
+		return "unknown"
+	}
+}
+
+// Info is the result of parsing a User-Agent string.
+type Info struct {
+	Browser string // Chrome, Firefox, Safari, Edge, bot name, ...
+	Version string // major version, e.g. "124"
+	OS      string // Windows, macOS, Linux, Android, iOS
+	Class   Class
+}
+
+// desktop platform fragments with rough market weights.
+var desktopPlatforms = []struct {
+	frag   string
+	os     string
+	weight float64
+}{
+	{"Windows NT 10.0; Win64; x64", "Windows", 0.55},
+	{"Macintosh; Intel Mac OS X 10_15_7", "macOS", 0.25},
+	{"X11; Linux x86_64", "Linux", 0.08},
+	{"Windows NT 6.1; Win64; x64", "Windows", 0.07},
+	{"X11; Ubuntu; Linux x86_64", "Linux", 0.05},
+}
+
+var mobilePlatforms = []struct {
+	frag   string
+	os     string
+	weight float64
+}{
+	{"Linux; Android 14; SM-S918B", "Android", 0.22},
+	{"Linux; Android 13; SM-A536B", "Android", 0.20},
+	{"Linux; Android 12; Redmi Note 11", "Android", 0.15},
+	{"Linux; Android 11; M2101K6G", "Android", 0.08},
+	{"iPhone; CPU iPhone OS 17_4 like Mac OS X", "iOS", 0.20},
+	{"iPhone; CPU iPhone OS 16_6 like Mac OS X", "iOS", 0.10},
+	{"iPad; CPU OS 17_4 like Mac OS X", "iOS", 0.05},
+}
+
+// bots the CDN's detector recognizes by UA alone.
+var botAgents = []string{
+	"Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+	"Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)",
+	"Mozilla/5.0 (compatible; AhrefsBot/7.0; +http://ahrefs.com/robot/)",
+	"curl/8.4.0",
+	"python-requests/2.31.0",
+	"Go-http-client/2.0",
+	"Scrapy/2.11.0 (+https://scrapy.org)",
+	"okhttp/4.12.0",
+}
+
+var (
+	desktopCum []float64
+	mobileCum  []float64
+)
+
+func init() {
+	dw := make([]float64, len(desktopPlatforms))
+	for i, p := range desktopPlatforms {
+		dw[i] = p.weight
+	}
+	desktopCum = rng.Cumulative(dw)
+	mw := make([]float64, len(mobilePlatforms))
+	for i, p := range mobilePlatforms {
+		mw[i] = p.weight
+	}
+	mobileCum = rng.Cumulative(mw)
+}
+
+// Generator synthesizes User-Agent strings with a configurable mobile
+// share. The zero value is not usable; call NewGenerator.
+type Generator struct {
+	stream      *rng.Stream
+	mobileShare float64
+}
+
+// NewGenerator returns a generator drawing from stream with the given
+// probability of producing a mobile UA.
+func NewGenerator(stream *rng.Stream, mobileShare float64) *Generator {
+	return &Generator{stream: stream, mobileShare: mobileShare}
+}
+
+// Generate returns a synthetic human-browser User-Agent. Two calls almost
+// never return identical strings because the browser build number is drawn
+// from a large space — mirroring the empirical near-uniqueness of real UA
+// strings that the paper's user-counting relies on.
+func (g *Generator) Generate() string {
+	if g.stream.Bool(g.mobileShare) {
+		return g.mobile()
+	}
+	return g.desktop()
+}
+
+func (g *Generator) chromeVersion() string {
+	major := 110 + g.stream.Intn(20)
+	build := 5000 + g.stream.Intn(2000)
+	patch := g.stream.Intn(200)
+	return fmt.Sprintf("%d.0.%d.%d", major, build, patch)
+}
+
+func (g *Generator) desktop() string {
+	p := desktopPlatforms[g.stream.Categorical(desktopCum)]
+	switch g.stream.Intn(10) {
+	case 0, 1: // Firefox
+		v := 115 + g.stream.Intn(12)
+		return fmt.Sprintf("Mozilla/5.0 (%s; rv:%d.0) Gecko/20100101 Firefox/%d.0", p.frag, v, v)
+	case 2: // Safari (only plausible on macOS; fall through otherwise)
+		if p.os == "macOS" {
+			v := 16 + g.stream.Intn(2)
+			minor := g.stream.Intn(6)
+			return fmt.Sprintf("Mozilla/5.0 (%s) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/%d.%d Safari/605.1.15", p.frag, v, minor)
+		}
+		fallthrough
+	case 3: // Edge
+		ver := g.chromeVersion()
+		return fmt.Sprintf("Mozilla/5.0 (%s) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%s Safari/537.36 Edg/%s", p.frag, ver, ver)
+	default: // Chrome
+		return fmt.Sprintf("Mozilla/5.0 (%s) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%s Safari/537.36", p.frag, g.chromeVersion())
+	}
+}
+
+func (g *Generator) mobile() string {
+	p := mobilePlatforms[g.stream.Categorical(mobileCum)]
+	if p.os == "iOS" {
+		v := 16 + g.stream.Intn(2)
+		minor := g.stream.Intn(6)
+		return fmt.Sprintf("Mozilla/5.0 (%s) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/%d.%d Mobile/15E148 Safari/604.1", p.frag, v, minor)
+	}
+	return fmt.Sprintf("Mozilla/5.0 (%s) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%s Mobile Safari/537.36", p.frag, g.chromeVersion())
+}
+
+// GenerateBot returns a bot User-Agent.
+func (g *Generator) GenerateBot() string {
+	return botAgents[g.stream.Intn(len(botAgents))]
+}
+
+// Parse classifies a User-Agent string. It is intentionally conservative:
+// unrecognized strings come back with Class Unknown.
+func Parse(s string) Info {
+	if s == "" {
+		return Info{}
+	}
+	if isBot(s) {
+		return Info{Browser: botName(s), Class: Bot}
+	}
+	info := Info{Class: Desktop}
+	switch {
+	case strings.Contains(s, "Android"):
+		info.OS = "Android"
+		info.Class = Mobile
+	case strings.Contains(s, "iPhone OS"), strings.Contains(s, "iPad"):
+		info.OS = "iOS"
+		info.Class = Mobile
+	case strings.Contains(s, "Windows NT"):
+		info.OS = "Windows"
+	case strings.Contains(s, "Mac OS X"):
+		info.OS = "macOS"
+	case strings.Contains(s, "Linux"):
+		info.OS = "Linux"
+	default:
+		info.Class = Unknown
+	}
+	switch {
+	case strings.Contains(s, "Edg/"):
+		info.Browser = "Edge"
+		info.Version = majorAfter(s, "Edg/")
+	case strings.Contains(s, "Firefox/"):
+		info.Browser = "Firefox"
+		info.Version = majorAfter(s, "Firefox/")
+	case strings.Contains(s, "Chrome/"):
+		info.Browser = "Chrome"
+		info.Version = majorAfter(s, "Chrome/")
+	case strings.Contains(s, "Safari/") && strings.Contains(s, "Version/"):
+		info.Browser = "Safari"
+		info.Version = majorAfter(s, "Version/")
+	default:
+		if info.Class == Unknown {
+			return Info{}
+		}
+	}
+	return info
+}
+
+func isBot(s string) bool {
+	lower := strings.ToLower(s)
+	for _, marker := range []string{"bot", "curl/", "python-requests", "go-http-client", "scrapy", "okhttp", "spider", "crawler"} {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func botName(s string) string {
+	lower := strings.ToLower(s)
+	switch {
+	case strings.Contains(lower, "googlebot"):
+		return "Googlebot"
+	case strings.Contains(lower, "bingbot"):
+		return "bingbot"
+	case strings.Contains(lower, "ahrefsbot"):
+		return "AhrefsBot"
+	case strings.Contains(lower, "curl/"):
+		return "curl"
+	case strings.Contains(lower, "python-requests"):
+		return "python-requests"
+	case strings.Contains(lower, "go-http-client"):
+		return "Go-http-client"
+	case strings.Contains(lower, "scrapy"):
+		return "Scrapy"
+	case strings.Contains(lower, "okhttp"):
+		return "okhttp"
+	default:
+		return "bot"
+	}
+}
+
+// majorAfter extracts the major version number following a marker like
+// "Chrome/".
+func majorAfter(s, marker string) string {
+	i := strings.Index(s, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := s[i+len(marker):]
+	end := 0
+	for end < len(rest) && rest[end] >= '0' && rest[end] <= '9' {
+		end++
+	}
+	return rest[:end]
+}

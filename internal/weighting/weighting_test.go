@@ -1,0 +1,133 @@
+package weighting
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apnic"
+	"repro/internal/dates"
+	"repro/internal/itu"
+	"repro/internal/orgs"
+	"repro/internal/world"
+)
+
+func pair(cc, org string) orgs.CountryOrg { return orgs.CountryOrg{Country: cc, Org: org} }
+
+func TestUniform(t *testing.T) {
+	pairs := []orgs.CountryOrg{pair("A", "x"), pair("A", "y"), pair("B", "z"), pair("B", "w")}
+	w := Uniform{}.Weights(pairs)
+	for _, p := range pairs {
+		if math.Abs(w[p]-0.25) > 1e-12 {
+			t.Fatalf("uniform weight %v", w[p])
+		}
+	}
+	if len(Uniform{}.Weights(nil)) != 0 {
+		t.Fatal("empty pairs should give empty weights")
+	}
+}
+
+func TestPerCountry(t *testing.T) {
+	pairs := []orgs.CountryOrg{pair("A", "x"), pair("A", "y"), pair("B", "z")}
+	w := PerCountry{}.Weights(pairs)
+	if math.Abs(w[pair("A", "x")]-0.25) > 1e-12 || math.Abs(w[pair("B", "z")]-0.5) > 1e-12 {
+		t.Fatalf("per-country weights = %v", w)
+	}
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestByMeasure(t *testing.T) {
+	pairs := []orgs.CountryOrg{pair("A", "x"), pair("A", "y")}
+	s := ByMeasure{Label: "test", Measure: map[orgs.CountryOrg]float64{
+		pair("A", "x"): 30,
+		pair("A", "y"): 10,
+	}}
+	w := s.Weights(pairs)
+	if math.Abs(w[pair("A", "x")]-0.75) > 1e-12 {
+		t.Fatalf("measure weight = %v", w[pair("A", "x")])
+	}
+	if s.Name() != "test" {
+		t.Fatal("Name mismatch")
+	}
+	// Missing pairs get zero; an all-missing measure returns empty.
+	if len((ByMeasure{Label: "z"}).Weights(pairs)) != 0 {
+		t.Fatal("zero measure should return no weights")
+	}
+}
+
+func TestEvaluatePerfectScheme(t *testing.T) {
+	truth := map[orgs.CountryOrg]float64{
+		pair("A", "x"): 0.7,
+		pair("A", "y"): 0.3,
+	}
+	ev := Evaluate(ByMeasure{Label: "oracle", Measure: truth}, truth)
+	if ev.TotalVariation > 1e-12 || ev.KLDivergence > 1e-12 || ev.TopShareError > 1e-12 {
+		t.Fatalf("oracle evaluation not perfect: %+v", ev)
+	}
+}
+
+func TestEvaluateUniformWorseThanOracle(t *testing.T) {
+	truth := map[orgs.CountryOrg]float64{
+		pair("A", "x"): 0.9,
+		pair("A", "y"): 0.05,
+		pair("B", "z"): 0.05,
+	}
+	uni := Evaluate(Uniform{}, truth)
+	if uni.TotalVariation < 0.3 {
+		t.Fatalf("uniform TV %v should be large on a skewed truth", uni.TotalVariation)
+	}
+	if uni.TopShareError < 0.4 {
+		t.Fatalf("uniform top-share error %v", uni.TopShareError)
+	}
+}
+
+func TestEvaluateZeroWeightGivesInfiniteKL(t *testing.T) {
+	truth := map[orgs.CountryOrg]float64{
+		pair("A", "x"): 0.5,
+		pair("A", "y"): 0.5,
+	}
+	s := ByMeasure{Label: "partial", Measure: map[orgs.CountryOrg]float64{pair("A", "x"): 1}}
+	ev := Evaluate(s, truth)
+	if !math.IsInf(ev.KLDivergence, 1) {
+		t.Fatalf("KL should be +Inf when truth mass gets zero weight: %v", ev.KLDivergence)
+	}
+}
+
+// The paper's claim, end to end: weighting by APNIC estimates approximates
+// the true user distribution far better than the traditional equal
+// weightings.
+func TestAPNICWeightingBeatsNaive(t *testing.T) {
+	w := world.MustBuild(world.Config{Seed: 11})
+	gen := apnic.New(w, itu.New(w, 11), 11)
+	d := dates.New(2024, 4, 21)
+
+	truth := map[orgs.CountryOrg]float64{}
+	for _, p := range w.CountryOrgPairs(d) {
+		if u := w.TrueUsers(p.Country, p.Org, d); u > 0 {
+			truth[p] = u
+		}
+	}
+
+	apnicUsers := gen.Generate(d).OrgUsers(w.Registry)
+	evAPNIC := Evaluate(ByMeasure{Label: "apnic-users", Measure: apnicUsers}, truth)
+	evUniform := Evaluate(Uniform{}, truth)
+	evCountry := Evaluate(PerCountry{}, truth)
+
+	if evAPNIC.TotalVariation >= evUniform.TotalVariation {
+		t.Errorf("APNIC TV %v not better than uniform %v", evAPNIC.TotalVariation, evUniform.TotalVariation)
+	}
+	if evAPNIC.TotalVariation >= evCountry.TotalVariation {
+		t.Errorf("APNIC TV %v not better than per-country %v", evAPNIC.TotalVariation, evCountry.TotalVariation)
+	}
+	if evAPNIC.TotalVariation > 0.35 {
+		t.Errorf("APNIC TV %v too far from truth", evAPNIC.TotalVariation)
+	}
+	if evAPNIC.TopShareError > 0.1 {
+		t.Errorf("APNIC top-share error %v", evAPNIC.TopShareError)
+	}
+}

@@ -1,0 +1,467 @@
+package world
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/orgs"
+	"repro/internal/rng"
+)
+
+// buildMarket creates one country's organization market: a Zipf-like body
+// of eyeball networks, a long tail of tiny networks, plus enterprise,
+// cloud and CDN orgs. Weights, types and per-org parameters all come from
+// the country's dedicated random stream.
+func (w *World) buildMarket(c geo.Country, s *rng.Stream) (*Market, error) {
+	m := &Market{Country: c}
+	users24 := c.InternetUsers(2024)
+	if users24 < 1 {
+		users24 = 1
+	}
+
+	// Eyeball networks: count grows with the user base, the market body
+	// follows a Zipf law.
+	nEyeball := int(2.5*math.Log10(users24)) - 8
+	if nEyeball < 3 {
+		nEyeball = 3
+	}
+	if nEyeball > 26 {
+		nEyeball = 26
+	}
+	nEyeball += s.Intn(3)
+
+	// Market steepness varies by country: some markets are dominated by
+	// one incumbent (high alpha), mature telecom markets often have
+	// three or four near-equal players (low alpha) — which is exactly
+	// where survey-vs-APNIC rank inversions can turn Figure 2's per-
+	// country R² negative.
+	zipfAlpha := s.Range(0.55, 1.25)
+	for k := 0; k < nEyeball; k++ {
+		typ := w.eyeballType(s, k)
+		e := w.newEntry(c, s, typ, k,
+			1/math.Pow(float64(k+1), zipfAlpha))
+		m.Entries = append(m.Entries, e)
+	}
+
+	// Long tail of tiny networks (regional ISPs, WISPs): these are the
+	// pairs the CDN observes but APNIC's ≥120-sample floor drops (§4.2).
+	nTiny := 12 + s.Intn(22)
+	for k := 0; k < nTiny; k++ {
+		weight := math.Pow(10, s.Range(-5, -3.4))
+		e := w.newEntry(c, s, orgs.FixedAccess, 100+k, weight)
+		m.Entries = append(m.Entries, e)
+	}
+
+	// Enterprise networks: present everywhere, few users, modest traffic.
+	nEnt := 1 + s.Intn(3)
+	for k := 0; k < nEnt; k++ {
+		e := w.newEntry(c, s, orgs.Enterprise, 200+k, s.Range(0.002, 0.006))
+		m.Entries = append(m.Entries, e)
+	}
+
+	// Cloud / CDN orgs in sizable markets. Southern Asia gets a heavier
+	// cloud footprint — the mechanism behind the paper's India traffic
+	// outlier (§4.4): huge CDN volume, almost no ad-visible users.
+	if users24 > 5e6 {
+		nCloud := 1 + s.Intn(2)
+		if c.Subregion == geo.SouthernAsia {
+			nCloud += 2
+		}
+		for k := 0; k < nCloud; k++ {
+			e := w.newEntry(c, s, orgs.CloudProvider, 300+k, s.Range(0.0005, 0.002))
+			if c.Subregion == geo.SouthernAsia {
+				e.TrafficPerUser *= 5
+			}
+			m.Entries = append(m.Entries, e)
+		}
+		if users24 > 3e7 {
+			e := w.newEntry(c, s, orgs.CDNProvider, 350, s.Range(0.0003, 0.001))
+			m.Entries = append(m.Entries, e)
+		}
+	}
+	return m, nil
+}
+
+// eyeballType picks the network type for the k-th eyeball org: the top of
+// the market mixes converged carriers and pure-fixed incumbents (their
+// differing mobile exposure is what makes mobile-heavy carriers look
+// overrepresented against fixed-only broadband surveys, Figure 2), the
+// middle adds mobile carriers, the tail is mostly fixed.
+func (w *World) eyeballType(s *rng.Stream, k int) orgs.Type {
+	switch {
+	case k < 2:
+		if s.Bool(0.35) {
+			return orgs.FixedAccess
+		}
+		return orgs.ConvergedAccess
+	case k < 5:
+		switch s.Intn(3) {
+		case 0:
+			return orgs.MobileCarrier
+		case 1:
+			return orgs.FixedAccess
+		default:
+			return orgs.ConvergedAccess
+		}
+	default:
+		if s.Bool(0.2) {
+			return orgs.MobileCarrier
+		}
+		return orgs.FixedAccess
+	}
+}
+
+// newEntry creates an org plus its market entry with all per-org
+// simulation parameters.
+func (w *World) newEntry(c geo.Country, s *rng.Stream, typ orgs.Type, idx int, weight float64) *Entry {
+	nASN := 1
+	if typ.HostsUsers() && idx < 5 {
+		nASN = 1 + s.Intn(4) // big carriers run sibling ASes
+	} else if s.Bool(0.2) {
+		nASN = 2
+	}
+	asns := make([]uint32, nASN)
+	for i := range asns {
+		asns[i] = w.nextASN
+		w.nextASN++
+	}
+	id := fmt.Sprintf("%s-%s-%02d", c.Code, typeTag(typ), idx)
+	o := &orgs.Org{
+		ID:   id,
+		Name: orgName(c.Code, typ, idx, s),
+		Type: typ,
+		Home: c.Code,
+		ASNs: asns,
+	}
+	if err := w.Registry.Add(o); err != nil {
+		// Construction is fully controlled; a duplicate here is a bug.
+		panic(err)
+	}
+
+	asnW := make([]float64, nASN)
+	total := 0.0
+	for i := range asnW {
+		asnW[i] = s.Range(0.5, 1.5)
+		total += asnW[i]
+	}
+	for i := range asnW {
+		asnW[i] /= total
+	}
+
+	e := &Entry{
+		Org:        o,
+		BaseWeight: weight,
+		EntryYear:  0,
+		ASNWeights: asnW,
+	}
+
+	// Per-type parameters.
+	switch typ {
+	case orgs.FixedAccess:
+		e.MobileShare = s.Range(0, 0.1)
+		e.AdFactor = s.Range(0.95, 1.05)
+		e.TrafficPerUser = s.LogNormal(0, 0.18)
+		e.ReqPerUser = 80 * s.LogNormal(0, 0.10)
+		e.BotShare = s.Range(0.05, 0.12)
+	case orgs.MobileCarrier:
+		e.MobileShare = s.Range(0.9, 1.0)
+		e.AdFactor = s.Range(1.0, 1.15) // mobile browsing sees more ads
+		e.TrafficPerUser = 0.7 * s.LogNormal(0, 0.18)
+		e.ReqPerUser = 70 * s.LogNormal(0, 0.10)
+		e.BotShare = s.Range(0.03, 0.08)
+	case orgs.ConvergedAccess:
+		e.MobileShare = s.Range(0.25, 0.85)
+		e.AdFactor = s.Range(0.95, 1.1)
+		e.TrafficPerUser = 0.9 * s.LogNormal(0, 0.18)
+		e.ReqPerUser = 80 * s.LogNormal(0, 0.10)
+		e.BotShare = s.Range(0.04, 0.1)
+	case orgs.Enterprise:
+		e.MobileShare = s.Range(0.05, 0.2)
+		e.AdFactor = s.Range(0.15, 0.35) // workplace browsing, fewer ads
+		e.TrafficPerUser = 0.4 * s.LogNormal(0, 0.4)
+		e.ReqPerUser = 25 * s.LogNormal(0, 0.3)
+		e.BotShare = s.Range(0.15, 0.35)
+	case orgs.CloudProvider:
+		e.MobileShare = 0
+		e.AdFactor = s.Range(0.01, 0.04) // machines do not watch ads
+		e.TrafficPerUser = 40 * s.LogNormal(0, 0.5)
+		e.ReqPerUser = 400 * s.LogNormal(0, 0.4)
+		e.BotShare = s.Range(0.4, 0.6)
+	case orgs.CDNProvider:
+		e.MobileShare = 0
+		e.AdFactor = s.Range(0.01, 0.03)
+		e.TrafficPerUser = 25 * s.LogNormal(0, 0.5)
+		e.ReqPerUser = 300 * s.LogNormal(0, 0.4)
+		e.BotShare = s.Range(0.3, 0.5)
+	case orgs.VPNProvider:
+		e.MobileShare = s.Range(0.2, 0.4)
+		e.AdFactor = 1.0
+		e.TrafficPerUser = s.LogNormal(0, 0.3)
+		e.ReqPerUser = 45 * s.LogNormal(0, 0.25)
+		e.BotShare = s.Range(0.1, 0.25)
+	}
+	e.UAPerUser = s.Range(1.15, 1.45)
+
+	// Persistent APNIC sampling bias: the weaker Google's local
+	// ecosystem, the wilder the per-org distortion (§4.1, §4.4). The
+	// superlinear exponent keeps high-reach countries nearly clean while
+	// low-reach markets (Russia, Korea's Naver-dominated web, Brazil)
+	// get rank-scrambling distortions.
+	biasSigma := 0.08 + 1.1*math.Pow(1-c.AdReach, 1.3)
+	e.APNICBias = s.LogNormal(0, biasSigma)
+
+	// Proxy effect: where Google's ecosystem is weak, a disproportionate
+	// share of the ad impressions that *do* arrive come through cloud /
+	// relay infrastructure. This is the paper's Russia anomaly (§4.4): a
+	// minor cloud org that APNIC ranks among the largest "networks"
+	// globally while the CDN sees almost no users there.
+	if (typ == orgs.CloudProvider || typ == orgs.CDNProvider) && c.AdReach < 0.45 {
+		e.AdFactor = s.Range(50, 150)
+	}
+
+	// CDN affinity: how much of the org's activity the CDN observes.
+	e.CDNAffinity = clamp01(s.Range(0.75, 0.95))
+	if c.Freedom < 30 && c.Freedom > 0 && s.Bool(0.25) {
+		// Some networks in censored countries barely reach the CDN at
+		// all — these become APNIC-only (country, org) pairs (§4.2).
+		e.CDNAffinity *= 0.002
+	}
+	return e
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func typeTag(t orgs.Type) string {
+	switch t {
+	case orgs.FixedAccess:
+		return "FIX"
+	case orgs.MobileCarrier:
+		return "MOB"
+	case orgs.ConvergedAccess:
+		return "CNV"
+	case orgs.Enterprise:
+		return "ENT"
+	case orgs.CloudProvider:
+		return "CLD"
+	case orgs.CDNProvider:
+		return "CDN"
+	case orgs.VPNProvider:
+		return "VPN"
+	default:
+		return "ORG"
+	}
+}
+
+// applyMergers injects the paper's §6 market events: guaranteed European
+// mergers (the Sunrise+UPC and Vodafone+Unitymedia analogues), a
+// probabilistic wave of European and African consolidation, and the
+// Latin-American entry of new access networks after 2019.
+func (w *World) applyMergers(s *rng.Stream) {
+	for _, code := range w.codes {
+		m := w.markets[code]
+		region := m.Country.Subregion
+		cs := s.Split("country/" + code)
+
+		switch geo.ContinentOf(region) {
+		case geo.Europe:
+			prob := 0.35
+			year := 2019 + cs.Intn(4)
+			if code == "CH" {
+				prob, year = 1.0, 2020 // Sunrise + UPC
+			}
+			if code == "DE" {
+				prob, year = 1.0, 2019 // Vodafone + Unitymedia
+			}
+			if cs.Bool(prob) {
+				w.mergeOne(m, cs, year)
+			}
+		case geo.Africa:
+			if cs.Bool(0.30) {
+				w.mergeOne(m, cs, 2019+cs.Intn(5))
+			}
+		}
+
+		// Latin America: a wave of new access networks enters after
+		// 2019, strongly diversifying the market (§6 reports the number
+		// of orgs needed for 95% coverage growing by up to +300%).
+		if region == geo.SouthAmer || region == geo.CentralAmerica || region == geo.Caribbean {
+			nNew := 8 + cs.Intn(8)
+			for k := 0; k < nNew; k++ {
+				e := w.newEntry(m.Country, cs.Split(fmt.Sprintf("entrant/%d", k)), orgs.FixedAccess, 400+k, math.Pow(10, cs.Range(-2.2, -1.1)))
+				e.EntryYear = 2019 + cs.Intn(5)
+				m.Entries = append(m.Entries, e)
+			}
+		}
+	}
+}
+
+// mergeOne absorbs a mid-market eyeball org into the market leader in the
+// given year.
+func (w *World) mergeOne(m *Market, s *rng.Stream, year int) {
+	var eyeballs []*Entry
+	for _, e := range m.Entries {
+		if e.Org.Type.HostsUsers() && e.ExitYear == 0 {
+			eyeballs = append(eyeballs, e)
+		}
+	}
+	if len(eyeballs) < 4 {
+		return
+	}
+	sort.Slice(eyeballs, func(i, j int) bool { return eyeballs[i].BaseWeight > eyeballs[j].BaseWeight })
+	victim := eyeballs[1+s.Intn(3)] // one of ranks 2..4
+	victim.ExitYear = year
+	victim.AbsorbedBy = eyeballs[0].Org.ID
+}
+
+// buildVPN creates the Norway-style VPN provider whose egress IPs
+// geolocate to the hub while its users are spread across other countries.
+func (w *World) buildVPN(s *rng.Stream) {
+	var hub *Market
+	for _, code := range w.codes {
+		if w.markets[code].Country.VPNHub {
+			hub = w.markets[code]
+			break
+		}
+	}
+	if hub == nil {
+		return
+	}
+	e := w.newEntry(hub.Country, s, orgs.VPNProvider, 0, 0.004)
+	hub.Entries = append(hub.Entries, e)
+	w.VPNOrgID = e.Org.ID
+
+	// Origin mix of the funneled users.
+	origins := []string{"DE", "GB", "US", "FR", "SE", "DK", "NL", "PL", "FI", "RU"}
+	total := 0.0
+	weights := make([]float64, len(origins))
+	for i := range origins {
+		weights[i] = s.Range(0.5, 1.5)
+		total += weights[i]
+	}
+	for i, o := range origins {
+		if _, ok := w.markets[o]; ok {
+			w.vpnOrigin[o] = weights[i] / total
+		}
+	}
+}
+
+// consolidationGamma returns the market-concentration exponent for a
+// region and year: shares evolve as BaseWeight^gamma, so gamma > 1
+// concentrates the market and gamma < 1 diversifies it. The anchors
+// encode §6's observations (2019 as baseline; Latin America diversifies,
+// Southern Asia concentrates hard, Europe and Africa consolidate).
+func consolidationGamma(region geo.Subregion, year int) float64 {
+	g2013, g2019 := 0.94, 1.0
+	var g2024 float64
+	switch region {
+	case geo.SouthAmer, geo.CentralAmerica, geo.Caribbean:
+		g2024 = 0.62
+	case geo.SouthernAsia:
+		g2024 = 1.85
+	case geo.EasternEurope, geo.SouthernEurope, geo.NorthernEurope, geo.WesternEurope:
+		g2024 = 1.28
+	case geo.EasternAfrica, geo.SouthernAfrica, geo.NorthernAfrica, geo.OtherAfrica:
+		g2024 = 1.32
+	case geo.SouthEastAsia:
+		g2024 = 1.22
+	case geo.EasternAsia, geo.OtherAsia:
+		g2024 = 1.15
+	case geo.AustraliaNZ:
+		g2024 = 1.12
+	default:
+		g2024 = 1.04
+	}
+	switch {
+	case year <= 2013:
+		return g2013
+	case year <= 2019:
+		f := float64(year-2013) / 6
+		return g2013 + f*(g2019-g2013)
+	case year >= 2024:
+		return g2024
+	default:
+		f := float64(year-2019) / 5
+		return g2019 + f*(g2024-g2019)
+	}
+}
+
+// computeShares fills the market's per-year normalized share table.
+func (w *World) computeShares(m *Market) {
+	m.shares = map[int]map[string]float64{}
+	for y := w.Cfg.FirstYear; y <= w.Cfg.LastYear+1; y++ {
+		gamma := consolidationGamma(m.Country.Subregion, y)
+		row := map[string]float64{}
+		total := 0.0
+		// Effective weight: active orgs plus mass inherited from
+		// absorbed orgs.
+		eff := map[string]float64{}
+		eyeball := map[string]bool{}
+		for _, e := range m.Entries {
+			if !activeIn(e, y) {
+				continue
+			}
+			eff[e.Org.ID] += e.BaseWeight
+			eyeball[e.Org.ID] = e.Org.Type.HostsUsers()
+		}
+		for _, e := range m.Entries {
+			if e.ExitYear != 0 && y >= e.ExitYear && e.AbsorbedBy != "" {
+				if _, ok := eff[e.AbsorbedBy]; ok {
+					eff[e.AbsorbedBy] += e.BaseWeight
+				}
+			}
+		}
+		ids := make([]string, 0, len(eff))
+		for id := range eff {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids) // deterministic summation order
+		for _, id := range ids {
+			v := eff[id]
+			if eyeball[id] {
+				// The consolidation tilt models the *access-market*
+				// dynamics of §6; enterprise, cloud, CDN and VPN orgs
+				// keep their base weight.
+				v = math.Pow(v, gamma)
+			}
+			row[id] = v
+			total += v
+		}
+		if total > 0 {
+			for _, id := range ids {
+				row[id] /= total
+			}
+		}
+		m.shares[y] = row
+	}
+}
+
+func activeIn(e *Entry, year int) bool {
+	if e.EntryYear != 0 && year < e.EntryYear {
+		return false
+	}
+	if e.ExitYear != 0 && year >= e.ExitYear {
+		return false
+	}
+	return true
+}
+
+// shareInYear returns the Jan-1 share for an org in a market's country.
+func (w *World) shareInYear(m *Market, orgID string, year int) float64 {
+	if year < w.Cfg.FirstYear {
+		year = w.Cfg.FirstYear
+	}
+	if year > w.Cfg.LastYear+1 {
+		year = w.Cfg.LastYear + 1
+	}
+	return m.shares[year][orgID]
+}

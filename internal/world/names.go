@@ -1,0 +1,42 @@
+package world
+
+import (
+	"fmt"
+
+	"repro/internal/orgs"
+	"repro/internal/rng"
+)
+
+// Name fragments for synthesizing plausible operator names. Names carry no
+// simulation semantics; they only make reports readable.
+var (
+	nameStems = []string{
+		"Tele", "Net", "Via", "Uni", "Air", "Sky", "Terra", "Nova",
+		"Volt", "Lumen", "Axon", "Orbit", "Vertex", "Pulse", "Echo",
+		"Zenith", "Astra", "Delta", "Omni", "Prima",
+	}
+	nameSuffixes = []string{
+		"com", "net", "wave", "link", "tel", "fiber", "cast",
+		"connect", "line", "span", "bridge", "port",
+	}
+)
+
+// orgName synthesizes a display name for an organization.
+func orgName(country string, typ orgs.Type, idx int, s *rng.Stream) string {
+	stem := nameStems[s.Intn(len(nameStems))]
+	suffix := nameSuffixes[s.Intn(len(nameSuffixes))]
+	base := stem + suffix
+	switch typ {
+	case orgs.MobileCarrier:
+		base += " Mobile"
+	case orgs.Enterprise:
+		base += " Corporate"
+	case orgs.CloudProvider:
+		base += " Cloud"
+	case orgs.CDNProvider:
+		base += " Edge"
+	case orgs.VPNProvider:
+		base += " VPN"
+	}
+	return fmt.Sprintf("%s %s %d", base, country, idx+1)
+}

@@ -1,0 +1,207 @@
+package world
+
+import (
+	"repro/internal/dates"
+	"repro/internal/orgs"
+)
+
+// yearFrac splits a date into its anchor year and the fraction of the year
+// elapsed, for linear interpolation between Jan-1 anchors.
+func yearFrac(d dates.Date) (year int, frac float64) {
+	start := dates.YearStart(d.Year)
+	next := dates.YearStart(d.Year + 1)
+	span := next.Sub(start)
+	return d.Year, float64(d.Sub(start)) / float64(span)
+}
+
+// TotalUsers returns the country's Internet user count on a date,
+// interpolating the yearly penetration anchors.
+func (w *World) TotalUsers(country string, d dates.Date) float64 {
+	m := w.markets[country]
+	if m == nil {
+		return 0
+	}
+	y, f := yearFrac(d)
+	u0 := m.Country.InternetUsers(y)
+	u1 := m.Country.InternetUsers(y + 1)
+	return u0 + f*(u1-u0)
+}
+
+// Share returns the org's user share in a country on a date,
+// interpolating Jan-1 share anchors.
+func (w *World) Share(country, orgID string, d dates.Date) float64 {
+	m := w.markets[country]
+	if m == nil {
+		return 0
+	}
+	y, f := yearFrac(d)
+	s0 := w.shareInYear(m, orgID, y)
+	s1 := w.shareInYear(m, orgID, y+1)
+	return s0 + f*(s1-s0)
+}
+
+// TrueUsers returns the actual number of human users of an org in a
+// country on a date — the quantity every dataset is trying to estimate.
+func (w *World) TrueUsers(country, orgID string, d dates.Date) float64 {
+	return w.TotalUsers(country, d) * w.Share(country, orgID, d)
+}
+
+// Entry returns the market entry for an org in a country, or nil.
+func (w *World) Entry(country, orgID string) *Entry {
+	m := w.markets[country]
+	if m == nil {
+		return nil
+	}
+	for _, e := range m.Entries {
+		if e.Org.ID == orgID {
+			return e
+		}
+	}
+	return nil
+}
+
+// VPNFunnelTotal returns the number of foreign users funneled through the
+// VPN hub's egress IPs on a date. It grows roughly linearly from ~0.5M in
+// 2013 to ~5.5M in 2024 — on the order of the hub country's own Internet
+// population, which is what makes the VPN org rank among the largest
+// "networks" globally in APNIC's view (the paper's 23rd-largest
+// observation, §4.4) while the CDN sees almost nobody there.
+func (w *World) VPNFunnelTotal(d dates.Date) float64 {
+	if w.VPNOrgID == "" {
+		return 0
+	}
+	y, f := yearFrac(d)
+	yearF := float64(y) + f
+	frac := (yearF - 2013) / 11
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return 0.5e6 + frac*5.0e6
+}
+
+// VPNOriginShare returns the fraction of funneled VPN users originating
+// from a country (zero for non-origins).
+func (w *World) VPNOriginShare(country string) float64 {
+	return w.vpnOrigin[country]
+}
+
+// VPNOrigins returns the origin-country mix of the VPN funnel.
+func (w *World) VPNOrigins() map[string]float64 {
+	out := make(map[string]float64, len(w.vpnOrigin))
+	for k, v := range w.vpnOrigin {
+		out[k] = v
+	}
+	return out
+}
+
+// APNICUsers returns the users an IP-geolocation-based measurement (the
+// APNIC pipeline) attributes to (country, org) on a date: true users,
+// plus — for the VPN org in its hub country — all funneled foreign users,
+// whose egress IPs geolocate to the hub.
+func (w *World) APNICUsers(country, orgID string, d dates.Date) float64 {
+	u := w.TrueUsers(country, orgID, d)
+	if orgID == w.VPNOrgID && w.isVPNHub(country) {
+		u += w.VPNFunnelTotal(d)
+	}
+	return u
+}
+
+// CDNUsers returns the users a true-geolocation measurement (the CDN
+// pipeline) attributes to (country, org) on a date: true users, plus —
+// for the VPN org in an *origin* country — that country's slice of the
+// funnel. The hub sees only the VPN's real local users.
+func (w *World) CDNUsers(country, orgID string, d dates.Date) float64 {
+	u := w.TrueUsers(country, orgID, d)
+	if orgID == w.VPNOrgID && !w.isVPNHub(country) {
+		u += w.VPNFunnelTotal(d) * w.vpnOrigin[country]
+	}
+	return u
+}
+
+func (w *World) isVPNHub(country string) bool {
+	m := w.markets[country]
+	return m != nil && m.Country.VPNHub
+}
+
+// CountryOrgPairs enumerates every (country, org) pair with nonzero CDN
+// users on a date: each market's active entries, plus the VPN org's
+// origin-country appearances.
+func (w *World) CountryOrgPairs(d dates.Date) []orgs.CountryOrg {
+	var out []orgs.CountryOrg
+	for _, code := range w.codes {
+		for _, e := range w.markets[code].Entries {
+			if !activeIn(e, d.Year) {
+				continue
+			}
+			out = append(out, orgs.CountryOrg{Country: code, Org: e.Org.ID})
+		}
+		if w.VPNOrgID != "" && w.vpnOrigin[code] > 0 {
+			out = append(out, orgs.CountryOrg{Country: code, Org: w.VPNOrgID})
+		}
+	}
+	return out
+}
+
+// ActiveEntries returns a market's entries active in the date's year.
+func (m *Market) ActiveEntries(d dates.Date) []*Entry {
+	var out []*Entry
+	for _, e := range m.Entries {
+		if activeIn(e, d.Year) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OrgCount returns the number of organizations active in a country in a
+// year (used by the consolidation analysis and the RIR substrate).
+func (w *World) OrgCount(country string, year int) int {
+	m := w.markets[country]
+	if m == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range m.Entries {
+		if activeIn(e, year) {
+			n++
+		}
+	}
+	return n
+}
+
+// ShutdownFactor returns the fraction of normal Internet activity
+// surviving in a country on a specific day: 1.0 normally, ~0.1 on a
+// government-shutdown day. Shutdown days are *world events*: every
+// measurement system (APNIC sampling, CDN logs, M-Lab tests) observes the
+// same realization, which is what makes the Myanmar comparison of §4.4
+// meaningful — the CDN's short observation window reacts to individual
+// shutdown days while APNIC's 60-day window smooths over them.
+func (w *World) ShutdownFactor(country string, d dates.Date) float64 {
+	m := w.markets[country]
+	if m == nil || m.Country.ShutdownRate == 0 {
+		return 1
+	}
+	s := w.events.Split("shutdown/" + country + "/" + d.String())
+	if s.Bool(m.Country.ShutdownRate) {
+		return 0.1
+	}
+	return 1
+}
+
+// ShutdownWindowFactor averages ShutdownFactor over the window days
+// ending at d — the suppression a window-averaged measurement like APNIC
+// experiences.
+func (w *World) ShutdownWindowFactor(country string, d dates.Date, window int) float64 {
+	m := w.markets[country]
+	if m == nil || m.Country.ShutdownRate == 0 {
+		return 1
+	}
+	total := 0.0
+	for i := 0; i < window; i++ {
+		total += w.ShutdownFactor(country, d.AddDays(-i))
+	}
+	return total / float64(window)
+}

@@ -1,0 +1,263 @@
+// Package world builds the synthetic ground-truth Internet that every
+// dataset generator observes through its own biased channel. It models,
+// per country: the organization market structure (access, mobile,
+// converged, enterprise, cloud, CDN and VPN networks with sibling ASes),
+// market-share trajectories from 2013 to 2024 (with the regional
+// consolidation trends of the paper's §6, explicit mergers like
+// Sunrise+UPC, and Latin-American new entrants), per-organization traffic
+// intensity, ad exposure, and the Norway VPN funnel of §4.4.
+//
+// The world is the *truth*; the apnic, cdn, broadband, mlab and ixp
+// packages are *measurement processes* over it. The paper's experiments
+// then quantify how well one measurement (APNIC) agrees with the others —
+// exactly as the original study did against proprietary data.
+package world
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/netdb"
+	"repro/internal/orgs"
+	"repro/internal/rng"
+)
+
+// Config parameterizes world generation.
+type Config struct {
+	// Seed determines every random choice; the same seed reproduces the
+	// same world bit for bit.
+	Seed uint64
+
+	// FirstYear and LastYear bound the simulated period. The zero value
+	// is replaced by the paper's range, 2013 and 2024.
+	FirstYear int
+	LastYear  int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FirstYear == 0 {
+		c.FirstYear = 2013
+	}
+	if c.LastYear == 0 {
+		c.LastYear = 2024
+	}
+	return c
+}
+
+// Entry is one organization's position in one country's market.
+type Entry struct {
+	Org *orgs.Org
+
+	// BaseWeight is the unnormalized market weight before the yearly
+	// consolidation tilt; EntryYear/ExitYear bound the org's activity.
+	BaseWeight float64
+	EntryYear  int
+	ExitYear   int    // 0 = never exits
+	AbsorbedBy string // org ID gaining this org's users after ExitYear
+
+	// MobileShare is the fraction of the org's users on mobile access.
+	// The broadband-subscriber survey (§3.3) only sees the fixed share.
+	MobileShare float64
+
+	// AdFactor scales how strongly this org's users are exposed to the
+	// ad-impression sampling behind APNIC: ~1 for eyeball networks,
+	// near zero for cloud/CDN networks whose "users" are machines.
+	AdFactor float64
+
+	// APNICBias is a persistent per-org multiplicative distortion of ad
+	// sampling, large in countries where Google's ecosystem is weak —
+	// the mechanism behind rank disagreements in Russia or Korea (§4.1).
+	APNICBias float64
+
+	// TrafficPerUser is the relative CDN traffic intensity of one user
+	// of this org (cloud orgs are orders of magnitude above eyeballs).
+	TrafficPerUser float64
+
+	// ReqPerUser is the mean CDN HTTP requests per user per day.
+	ReqPerUser float64
+
+	// UAPerUser is the mean distinct User-Agents per user.
+	UAPerUser float64
+
+	// BotShare is the fraction of this org's CDN requests that are
+	// bot-originated (filtered by the bot-score pipeline, §3.4).
+	BotShare float64
+
+	// CDNAffinity is the fraction of the org's user activity that
+	// touches the simulated CDN at all (low where the CDN has little
+	// local presence or is blocked).
+	CDNAffinity float64
+
+	// ASNWeights splits the org's users across its sibling ASes; it has
+	// the same length as Org.ASNs and sums to 1.
+	ASNWeights []float64
+}
+
+// Market is one country's organization market.
+type Market struct {
+	Country geo.Country
+	Entries []*Entry
+
+	// shares[year][orgID] is the normalized user share at Jan 1 of year.
+	shares map[int]map[string]float64
+}
+
+// World is the generated ground truth.
+type World struct {
+	Cfg       Config
+	Registry  *orgs.Registry
+	DB        *netdb.DB
+	VPNOrgID  string             // the Norway VPN provider
+	vpnOrigin map[string]float64 // origin-country mix of funneled users
+
+	markets map[string]*Market
+	codes   []string // sorted country codes with markets
+	nextASN uint32   // global ASN assignment cursor
+
+	events *rng.Stream // real-world event realizations (shutdown days)
+}
+
+// Build generates a world from the configuration. Generation is
+// deterministic in cfg.Seed.
+func Build(cfg Config) (*World, error) {
+	cfg = cfg.withDefaults()
+	root := rng.New(cfg.Seed)
+	w := &World{
+		Cfg:       cfg,
+		Registry:  orgs.NewRegistry(),
+		DB:        netdb.NewDB(),
+		markets:   map[string]*Market{},
+		vpnOrigin: map[string]float64{},
+	}
+	alloc := netdb.NewAllocator()
+	w.nextASN = 1000
+	w.events = root.Split("events")
+
+	for _, c := range geo.All() {
+		m, err := w.buildMarket(c, root.Split("market/"+c.Code))
+		if err != nil {
+			return nil, err
+		}
+		w.markets[c.Code] = m
+		w.codes = append(w.codes, c.Code)
+	}
+	sort.Strings(w.codes)
+
+	w.applyMergers(root.Split("mergers"))
+	w.buildVPN(root.Split("vpn"))
+
+	// Precompute yearly share tables (address sizing depends on them).
+	for _, code := range w.codes {
+		w.computeShares(w.markets[code])
+	}
+
+	// Allocate and announce IP space once org structure is final.
+	if err := w.allocateAddresses(alloc); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// MustBuild is Build for tests and examples; it panics on error.
+func MustBuild(cfg Config) *World {
+	w, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Countries returns the country codes with markets, sorted.
+func (w *World) Countries() []string {
+	return append([]string(nil), w.codes...)
+}
+
+// Market returns one country's market, or nil if unknown.
+func (w *World) Market(code string) *Market {
+	return w.markets[code]
+}
+
+// Years returns the simulated year range.
+func (w *World) Years() (first, last int) {
+	return w.Cfg.FirstYear, w.Cfg.LastYear
+}
+
+// allocateAddresses hands out a prefix per ASN and announces it with both
+// geolocation views. VPN egress blocks are handled in buildVPN.
+func (w *World) allocateAddresses(alloc *netdb.Allocator) error {
+	for _, code := range w.codes {
+		m := w.markets[code]
+		for _, e := range m.Entries {
+			if e.Org.Home != code {
+				continue // announced from the home market only
+			}
+			peak := w.peakUsers(m, e)
+			for i, asn := range e.Org.ASNs {
+				// ISPs NAT many users behind each address; 0.3 addresses
+				// per user, with blocks capped at /12, keeps the whole
+				// 5-billion-user world inside unicast IPv4 space.
+				hosts := int64(peak * e.ASNWeights[i] * 0.3)
+				if hosts < 256 {
+					hosts = 256
+				}
+				bits := netdb.BitsForHosts(hosts)
+				if bits < 12 {
+					bits = 12
+				}
+				p, err := alloc.Alloc(bits)
+				if err != nil {
+					return fmt.Errorf("world: allocating for %s: %w", e.Org.ID, err)
+				}
+				if err := w.DB.Announce(p, netdb.Route{
+					ASN:               asn,
+					RegisteredCountry: code,
+					TrueCountry:       code,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// VPN egress blocks: registered in the hub, users elsewhere.
+	if w.VPNOrgID != "" {
+		vpnOrg, _ := w.Registry.ByID(w.VPNOrgID)
+		hub := vpnOrg.Home
+		for _, origin := range sortedKeys(w.vpnOrigin) {
+			p, err := alloc.Alloc(20)
+			if err != nil {
+				return err
+			}
+			if err := w.DB.Announce(p, netdb.Route{
+				ASN:               vpnOrg.ASNs[0],
+				RegisteredCountry: hub,
+				TrueCountry:       origin,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// peakUsers returns the org's maximum user count across the simulated
+// years, used to size its address blocks.
+func (w *World) peakUsers(m *Market, e *Entry) float64 {
+	peak := 0.0
+	for y := w.Cfg.FirstYear; y <= w.Cfg.LastYear; y++ {
+		u := m.Country.InternetUsers(y) * w.shareInYear(m, e.Org.ID, y)
+		if u > peak {
+			peak = u
+		}
+	}
+	return peak
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
