@@ -124,6 +124,28 @@ func BenchmarkFigure13(b *testing.B) {
 	runExperiment(b, "Figure13", "r2")
 }
 
+// ---- Full-sweep scheduler benchmarks ---------------------------------
+
+// benchSweep runs the complete 21-runner sweep through the concurrent
+// scheduler. Each iteration uses a fresh lab so the singleflight day
+// caches start cold — that is exactly what cmd/experiments pays — while
+// world construction stays outside the timer.
+func benchSweep(b *testing.B, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		l := experiments.NewLab(42)
+		b.StartTimer()
+		experiments.RunAll(l, experiments.Runners(), parallelism, nil)
+	}
+}
+
+func BenchmarkFullSweepParallel1(b *testing.B) { benchSweep(b, 1) }
+func BenchmarkFullSweepParallel4(b *testing.B) { benchSweep(b, 4) }
+
+// BenchmarkFullSweepGOMAXPROCS is the cmd/experiments default.
+func BenchmarkFullSweepGOMAXPROCS(b *testing.B) { benchSweep(b, 0) }
+
 // ---- Ablations -------------------------------------------------------
 
 // BenchmarkAblationKendallFilter sweeps the small-org filter of the

@@ -3,16 +3,20 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-run Table2,Figure4] [-list]
+//	experiments [-seed N] [-run Table2,Figure4] [-parallel N] [-list]
 //
-// With no -run flag every experiment runs in paper order.
+// With no -run flag every experiment runs in paper order. Runners execute
+// concurrently on a worker pool (-parallel, default GOMAXPROCS) but
+// results stream to stdout in paper order and are byte-identical at every
+// parallelism level; progress and timing go to stderr so stdout can be
+// diffed across runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,6 +26,7 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 42, "world seed")
 	run := flag.String("run", "", "comma-separated experiment names (default: all)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent experiments (<=0 means GOMAXPROCS)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	md := flag.String("md", "", "write a paper-vs-measured markdown report to this file")
 	flag.Parse()
@@ -47,87 +52,40 @@ func main() {
 		}
 	}
 
-	fmt.Printf("building world (seed %d)...\n", *seed)
+	fmt.Fprintf(os.Stderr, "building world (seed %d)...\n", *seed)
 	start := time.Now()
 	lab := experiments.NewLab(*seed)
-	fmt.Printf("world ready in %v: %d orgs, %d routes\n\n", time.Since(start).Round(time.Millisecond),
+	fmt.Fprintf(os.Stderr, "world ready in %v: %d orgs, %d routes\n\n", time.Since(start).Round(time.Millisecond),
 		lab.W.Registry.Len(), lab.W.DB.Len())
 
-	var results []*experiments.Result
-	for _, r := range selected {
-		t0 := time.Now()
-		res := r.Run(lab)
-		results = append(results, res)
-		fmt.Printf("===== %s — %s (%v) =====\n", res.ID, res.Title, time.Since(t0).Round(time.Millisecond))
-		fmt.Println(res.Text)
-		if len(res.Metrics) > 0 {
-			fmt.Println("metrics (measured vs paper):")
-			keys := make([]string, 0, len(res.Metrics))
-			for k := range res.Metrics {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				if p, ok := res.Paper[k]; ok {
-					fmt.Printf("  %-22s %10.3f   (paper: %g)\n", k, res.Metrics[k], p)
-				} else {
-					fmt.Printf("  %-22s %10.3f\n", k, res.Metrics[k])
-				}
-			}
-		}
-		fmt.Println()
-	}
+	sweepStart := time.Now()
+	recs := experiments.RunAll(lab, selected, *parallel, func(rec experiments.RunRecord) {
+		experiments.WriteConsole(os.Stdout, rec.Result)
+		fmt.Fprintf(os.Stderr, "%-16s %8v\n", rec.Runner.Name, rec.Elapsed.Round(time.Millisecond))
+	})
+	wall := time.Since(sweepStart)
+
+	apnicDays, cdnDays := lab.CacheStats()
+	fmt.Fprintf(os.Stderr, "\n%d experiments in %v wall (%v summed runner time, parallelism %d)\n",
+		len(recs), wall.Round(time.Millisecond), experiments.TotalElapsed(recs).Round(time.Millisecond), *parallel)
+	fmt.Fprintf(os.Stderr, "day caches: %d APNIC reports, %d CDN snapshots (each generated once)\n", apnicDays, cdnDays)
 
 	if *md != "" {
-		if err := writeMarkdown(*md, *seed, results); err != nil {
+		results := make([]*experiments.Result, len(recs))
+		for i, rec := range recs {
+			results[i] = rec.Result
+		}
+		f, err := os.Create(*md)
+		if err == nil {
+			err = experiments.WriteMarkdown(f, *seed, results)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		fmt.Println("wrote", *md)
+		fmt.Fprintln(os.Stderr, "wrote", *md)
 	}
-}
-
-// writeMarkdown emits the paper-vs-measured record for EXPERIMENTS.md.
-func writeMarkdown(path string, seed uint64, results []*experiments.Result) error {
-	var b strings.Builder
-	b.WriteString("# EXPERIMENTS — paper vs. measured\n\n")
-	fmt.Fprintf(&b, "Generated by `go run ./cmd/experiments -md EXPERIMENTS.md` with seed %d.\n\n", seed)
-	b.WriteString("The substrate is a synthetic world (see DESIGN.md §1), so the goal is\n")
-	b.WriteString("*shape* fidelity — who wins, directions of bias, approximate factors —\n")
-	b.WriteString("not absolute numbers. Metrics without a paper column have no directly\n")
-	b.WriteString("comparable number in the paper (they characterize the simulation run).\n\n")
-	b.WriteString("Headline shape results that hold, as in the paper:\n\n")
-	b.WriteString("- Table 2: the global top-5 ASes are all Indian/Chinese, hundreds of millions of users each.\n")
-	b.WriteString("- Figure 2: strong average broadband-survey agreement with mobile-heavy outliers; a long low tail of per-country R².\n")
-	b.WriteString("- Figure 3: a ~40-50% pair overlap carries >96% of users, User-Agents, and traffic volume.\n")
-	b.WriteString("- Figure 4: principal-org agreement >85% for both metrics; UA agreement beats traffic agreement at every level.\n")
-	b.WriteString("- Figure 5: Russia scrambled; Norway and India slopes far below 1 (VPN and cloud mechanisms); Myanmar slope ≈ 1 with noise.\n")
-	b.WriteString("- Figures 6/7: elasticity β slightly below 1; the above-CI set is Russia/Turkmenistan/Eritrea/Sudan(+Madagascar, Myanmar, Vanuatu), pinned above the bound across 2024.\n")
-	b.WriteString("- Figure 8: ~10% of consecutive-day pairs exceed K-S 0.2; distances grow with granularity; the best-day rule flattens the curves.\n")
-	b.WriteString("- Figures 9/10: public M-Lab agreement predicts private CDN agreement; adding IXP capacity raises MIC, most in Europe.\n")
-	b.WriteString("- Figure 11 / Table 6: Latin America diversifies (+80-100%), Southern Asia consolidates hard, Europe/Africa decline; ASN registry trends match region by region.\n\n")
-	b.WriteString("Known deviations (and why they are acceptable):\n\n")
-	b.WriteString("- Figure 2's per-country R² reaches ~0.3 but rarely goes negative: the synthetic markets are still more Zipf-like than Korea/Japan's near-equal triopolies, so rank inversions cost less R². The mobile-overrepresentation mechanism itself is reproduced.\n")
-	b.WriteString("- Figure 4's exact percentages differ by ±15 points; the ordering (principal > rank ≥ complete; UA > volume) is what the simulation preserves.\n")
-	b.WriteString("- Figure 6 recovers 5 of the paper's 7 outlier countries on the default seed; the remaining two sit just inside the 95% band.\n\n")
-	for _, res := range results {
-		fmt.Fprintf(&b, "## %s — %s\n\n", res.ID, res.Title)
-		b.WriteString("| metric | measured | paper |\n|---|---:|---:|\n")
-		keys := make([]string, 0, len(res.Metrics))
-		for k := range res.Metrics {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			paper := ""
-			if p, ok := res.Paper[k]; ok {
-				paper = fmt.Sprintf("%g", p)
-			}
-			fmt.Fprintf(&b, "| %s | %.3f | %s |\n", k, res.Metrics[k], paper)
-		}
-		b.WriteString("\n<details><summary>full output</summary>\n\n```\n")
-		b.WriteString(res.Text)
-		b.WriteString("```\n\n</details>\n\n")
-	}
-	return os.WriteFile(path, []byte(b.String()), 0o644)
 }

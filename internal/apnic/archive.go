@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dates"
 	"repro/internal/orgs"
+	"repro/internal/stats"
 )
 
 // Archive is a collection of daily reports loaded from disk — the form in
@@ -148,17 +149,11 @@ func (a *Archive) OrgShareSeries(reg *orgs.Registry, country string) []map[strin
 	var out []map[string]float64
 	for _, d := range a.days {
 		users := orgs.CountryShares(a.reports[d].OrgUsers(reg), country)
-		total := 0.0
-		for _, v := range users {
-			total += v
-		}
-		if total == 0 {
+		// Sorted-order summation keeps the shares bit-reproducible.
+		if stats.SumMap(users) == 0 {
 			continue
 		}
-		for k := range users {
-			users[k] /= total
-		}
-		out = append(out, users)
+		out = append(out, stats.NormalizeMap(users))
 	}
 	return out
 }

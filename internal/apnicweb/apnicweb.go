@@ -22,48 +22,49 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/apnic"
 	"repro/internal/dates"
+	"repro/internal/syncx"
 )
 
 // Server serves generated reports for a date range.
+//
+// Day artifacts are cached with per-day singleflight entries: concurrent
+// requests for the same day share one generation, requests for distinct
+// days generate in parallel. (The old coarse-mutex version could either
+// serialize the whole request path or, when naively double-checked,
+// generate the same day twice under load.)
 type Server struct {
 	gen   *apnic.Generator
 	first dates.Date
 	last  dates.Date
 
-	mu      sync.Mutex
-	cache   map[dates.Date][]byte        // rendered CSV per day
-	reports map[dates.Date]*apnic.Report // generated reports per day
+	reports syncx.Cache[dates.Date, *apnic.Report] // generated reports per day
+	csv     syncx.Cache[dates.Date, csvDay]        // rendered CSV per day
+
+	genCalls atomic.Int64 // report generations; equals distinct days served
+}
+
+type csvDay struct {
+	body []byte
+	err  error
 }
 
 // NewServer returns a server for [first, last].
 func NewServer(gen *apnic.Generator, first, last dates.Date) *Server {
-	return &Server{
-		gen:     gen,
-		first:   first,
-		last:    last,
-		cache:   map[dates.Date][]byte{},
-		reports: map[dates.Date]*apnic.Report{},
-	}
+	return &Server{gen: gen, first: first, last: last}
 }
 
-// report returns the (cached) generated report for a day.
+// report returns the (cached) generated report for a day, generating it
+// at most once even when many requests race on a cold day.
 func (s *Server) report(d dates.Date) *apnic.Report {
-	s.mu.Lock()
-	rep, ok := s.reports[d]
-	s.mu.Unlock()
-	if ok {
-		return rep
-	}
-	rep = s.gen.Generate(d)
-	s.mu.Lock()
-	s.reports[d] = rep
-	s.mu.Unlock()
-	return rep
+	return s.reports.Get(d, func() *apnic.Report {
+		s.genCalls.Add(1)
+		return s.gen.Generate(d)
+	})
 }
 
 // Handler returns the HTTP handler.
@@ -197,21 +198,16 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) render(d dates.Date) ([]byte, error) {
-	s.mu.Lock()
-	body, ok := s.cache[d]
-	s.mu.Unlock()
-	if ok {
-		return body, nil
-	}
-	var b strings.Builder
-	if err := s.report(d).WriteCSV(&b); err != nil {
-		return nil, err
-	}
-	body = []byte(b.String())
-	s.mu.Lock()
-	s.cache[d] = body
-	s.mu.Unlock()
-	return body, nil
+	day := s.csv.Get(d, func() csvDay {
+		var b strings.Builder
+		if err := s.report(d).WriteCSV(&b); err != nil {
+			// Rendering is deterministic in (seed, date), so a failure
+			// would recur on every attempt; caching it is sound.
+			return csvDay{err: err}
+		}
+		return csvDay{body: []byte(b.String())}
+	})
+	return day.body, day.err
 }
 
 // Client fetches reports from a server.

@@ -1,12 +1,15 @@
 package apnicweb
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"sync"
 	"testing"
 
 	"repro/internal/apnic"
@@ -203,3 +206,105 @@ func TestSeriesEndpointErrors(t *testing.T) {
 }
 
 func itoa(v uint32) string { return strconv.FormatUint(uint64(v), 10) }
+
+// TestServerSingleflightHammer fires many concurrent requests at
+// overlapping cold days — through the real HTTP handler — and verifies
+// the generator ran exactly once per distinct day (singleflight), every
+// response is served, and repeated days return byte-identical CSV.
+func TestServerSingleflightHammer(t *testing.T) {
+	srv := NewServer(testGen, dates.New(2024, 1, 1), dates.New(2024, 12, 31))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	days := []string{"2024-03-01", "2024-03-02", "2024-03-03", "2024-03-04"}
+	const goroutines = 32
+	bodies := make([]map[string][]byte, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bodies[g] = map[string][]byte{}
+			for i := 0; i < 3; i++ {
+				for _, day := range days {
+					resp, err := ts.Client().Get(ts.URL + "/v1/reports/" + day + ".csv")
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					b, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						errs[g] = fmt.Errorf("GET %s: %s", day, resp.Status)
+						return
+					}
+					bodies[g][day] = b
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+
+	if n := srv.genCalls.Load(); int(n) != len(days) {
+		t.Errorf("generator ran %d times for %d distinct days; singleflight demands one each", n, len(days))
+	}
+	if n := srv.reports.Len(); n != len(days) {
+		t.Errorf("report cache holds %d days, want %d", n, len(days))
+	}
+	for g := 1; g < goroutines; g++ {
+		for _, day := range days {
+			if !bytes.Equal(bodies[g][day], bodies[0][day]) {
+				t.Fatalf("goroutine %d saw different CSV bytes for %s", g, day)
+			}
+		}
+	}
+}
+
+// TestServerRenderConcurrentDistinctDays drives render directly (below
+// the HTTP layer) to confirm distinct cold days do not serialize on a
+// global lock: total singleflight entries equal distinct days and each
+// day's bytes are stable.
+func TestServerRenderConcurrentDistinctDays(t *testing.T) {
+	srv := NewServer(testGen, dates.New(2024, 1, 1), dates.New(2024, 12, 31))
+	days := make([]dates.Date, 8)
+	for i := range days {
+		days[i] = dates.New(2024, 6, 1+i)
+	}
+	var wg sync.WaitGroup
+	out := make([][]byte, len(days))
+	for i, d := range days {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := srv.render(d)
+			if err != nil {
+				t.Errorf("render(%v): %v", d, err)
+				return
+			}
+			out[i] = b
+		}()
+	}
+	wg.Wait()
+	if n := srv.genCalls.Load(); int(n) != len(days) {
+		t.Errorf("generator ran %d times for %d distinct days", n, len(days))
+	}
+	for i, d := range days {
+		again, err := srv.render(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out[i], again) {
+			t.Errorf("day %v: cached render differs from first render", d)
+		}
+	}
+}

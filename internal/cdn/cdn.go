@@ -30,6 +30,7 @@ import (
 	"repro/internal/dates"
 	"repro/internal/orgs"
 	"repro/internal/rng"
+	"repro/internal/stats"
 	"repro/internal/world"
 )
 
@@ -256,21 +257,14 @@ func (s *Snapshot) VolumeShares(country string) map[string]float64 {
 	return shares(s.Stats, country, func(st OrgStats) float64 { return st.Bytes })
 }
 
-func shares(stats map[orgs.CountryOrg]OrgStats, country string, f func(OrgStats) float64) map[string]float64 {
+func shares(byPair map[orgs.CountryOrg]OrgStats, country string, f func(OrgStats) float64) map[string]float64 {
 	out := map[string]float64{}
-	total := 0.0
-	for k, st := range stats {
-		if k.Country != country {
-			continue
-		}
-		v := f(st)
-		out[k.Org] = v
-		total += v
-	}
-	if total > 0 {
-		for k := range out {
-			out[k] /= total
+	for k, st := range byPair {
+		if k.Country == country {
+			out[k.Org] = f(st)
 		}
 	}
-	return out
+	// NormalizeMap sums in sorted key order so map iteration cannot leak
+	// into the shares' last bits.
+	return stats.NormalizeMap(out)
 }

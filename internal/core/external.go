@@ -29,7 +29,15 @@ func BinKendall(public, private map[string]float64, width float64) []KendallBin 
 		n             int
 	}
 	bins := map[int]*agg{}
-	for cc, pub := range public {
+	// Sorted country order keeps each bin's floating-point sum (and so
+	// its Avg) bit-reproducible across runs.
+	ccs := make([]string, 0, len(public))
+	for cc := range public {
+		ccs = append(ccs, cc)
+	}
+	sort.Strings(ccs)
+	for _, cc := range ccs {
+		pub := public[cc]
 		priv, ok := private[cc]
 		if !ok || math.IsNaN(pub) || math.IsNaN(priv) {
 			continue

@@ -80,7 +80,10 @@ type CountryCoverage struct {
 func PerCountryCoverage(a, b map[orgs.CountryOrg]float64) []CountryCoverage {
 	type acc struct{ both, total float64 }
 	byCountry := map[string]*acc{}
-	for k, v := range b {
+	// Sorted key order keeps the per-country float sums bit-reproducible
+	// across runs, as in ComputeOverlap.
+	for _, k := range sortedPairs(b) {
+		v := b[k]
 		c := byCountry[k.Country]
 		if c == nil {
 			c = &acc{}

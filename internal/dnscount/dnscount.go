@@ -28,6 +28,7 @@ import (
 	"repro/internal/dates"
 	"repro/internal/orgs"
 	"repro/internal/rng"
+	"repro/internal/stats"
 	"repro/internal/world"
 )
 
@@ -106,18 +107,13 @@ func pow(x, y float64) float64 {
 // CountryShares returns one country's per-org query shares, summing to 1.
 func (ds *Dataset) CountryShares(country string) map[string]float64 {
 	out := map[string]float64{}
-	total := 0.0
 	for k, v := range ds.Queries {
 		if k.Country == country {
 			out[k.Org] = v
-			total += v
 		}
 	}
-	if total > 0 {
-		for k := range out {
-			out[k] /= total
-		}
-	}
+	// Sorted-order summation keeps the shares bit-reproducible.
+	stats.NormalizeMap(out)
 	return out
 }
 

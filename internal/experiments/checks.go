@@ -64,9 +64,11 @@ func CheckAll(l *Lab, d dates.Date) map[string]core.Report {
 func WeightByUsers(l *Lab, d dates.Date, pairs []orgs.CountryOrg) (weights map[orgs.CountryOrg]float64, totalPct float64) {
 	rep := l.Report(d)
 	users := rep.OrgUsers(l.W.Registry)
+	// Report rows are in deterministic order; summing them (rather than
+	// ranging over the users map) keeps the total bit-reproducible.
 	var worldTotal float64
-	for _, v := range users {
-		worldTotal += v
+	for _, row := range rep.Rows {
+		worldTotal += row.Users
 	}
 	weights = map[orgs.CountryOrg]float64{}
 	if worldTotal == 0 {

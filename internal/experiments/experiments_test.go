@@ -371,3 +371,78 @@ func TestExtProxiesShape(t *testing.T) {
 		t.Error("no hop loss recorded")
 	}
 }
+
+func TestRunnerByNameTable(t *testing.T) {
+	cases := []struct {
+		query string
+		want  string // canonical name; "" means not found
+	}{
+		{"Table2", "Table2"},
+		{"table2", "Table2"},
+		{"TABLE2", "Table2"},
+		{"tAbLe2", "Table2"},
+		{"Figure13", "Figure13"},
+		{"extproxies", "ExtProxies"},
+		{"EXTTRAFFICMODEL", "ExtTrafficModel"},
+		{"Table", ""},   // prefix is not a match
+		{"Table22", ""}, // superstring is not a match
+		{"nope", ""},
+		{"", ""},
+		{" Table2", ""}, // caller is responsible for trimming
+	}
+	for _, tc := range cases {
+		r, ok := RunnerByName(tc.query)
+		if tc.want == "" {
+			if ok {
+				t.Errorf("RunnerByName(%q) unexpectedly found %s", tc.query, r.Name)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("RunnerByName(%q) not found, want %s", tc.query, tc.want)
+			continue
+		}
+		if r.Name != tc.want {
+			t.Errorf("RunnerByName(%q) = %s, want %s", tc.query, r.Name, tc.want)
+		}
+		if r.Run == nil || r.Desc == "" {
+			t.Errorf("RunnerByName(%q) returned an incomplete runner", tc.query)
+		}
+	}
+}
+
+func TestSortedMetricKeysTable(t *testing.T) {
+	cases := []struct {
+		name string
+		in   map[string]float64
+		want []string
+	}{
+		{"nil", nil, []string{}},
+		{"empty", map[string]float64{}, []string{}},
+		{"single", map[string]float64{"a": 1}, []string{"a"}},
+		{"reversed", map[string]float64{"c": 3, "b": 2, "a": 1}, []string{"a", "b", "c"}},
+		{"mixed_case", map[string]float64{"B": 1, "a": 2, "A": 3}, []string{"A", "B", "a"}},
+		{"underscores", map[string]float64{"x_2": 0, "x_10": 0, "x_1": 0}, []string{"x_1", "x_10", "x_2"}},
+	}
+	for _, tc := range cases {
+		got := sortedMetricKeys(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: sortedMetricKeys = %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: sortedMetricKeys = %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+		// Stable across calls: re-run and compare.
+		again := sortedMetricKeys(tc.in)
+		for i := range got {
+			if got[i] != again[i] {
+				t.Errorf("%s: ordering unstable across calls: %v then %v", tc.name, got, again)
+				break
+			}
+		}
+	}
+}

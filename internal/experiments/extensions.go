@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -59,18 +60,35 @@ func ExtTrafficModel(l *Lab) *Result {
 	for _, cc := range l.W.Countries() {
 		aSh := orgs.CountryShares(apnicUsers, cc)
 		caps := ix.CountryCapacities(cc)
-		total := 0.0
-		for _, v := range caps {
-			total += v
+		// Sorted summation: float addition order must not depend on map
+		// iteration, or tx (and the fitted R²) drifts in the last bits
+		// from run to run.
+		capIDs := make([]string, 0, len(caps))
+		for id := range caps {
+			capIDs = append(capIDs, id)
 		}
-		for id, vol := range snap.VolumeShares(cc) {
+		sort.Strings(capIDs)
+		total := 0.0
+		for _, id := range capIDs {
+			total += caps[id]
+		}
+		// Iterate in sorted org order: fold assignment in the
+		// cross-validation below is positional, so map-iteration order
+		// would leak into out_sample_r2 and break run-to-run determinism.
+		vols := snap.VolumeShares(cc)
+		ids := make([]string, 0, len(vols))
+		for id := range vols {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
 			ta = append(ta, aSh[id])
 			if total > 0 {
 				tx = append(tx, caps[id]/total)
 			} else {
 				tx = append(tx, 0)
 			}
-			tv = append(tv, vol)
+			tv = append(tv, vols[id])
 		}
 	}
 	cv, ok := core.CrossValidateTrafficModel(ta, tx, tv, 5)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -116,10 +117,7 @@ func Figure10(l *Lab) *Result {
 	// are commensurate relative measures.
 	ixpShares := func(cc string) map[string]float64 {
 		caps := ix.CountryCapacities(cc)
-		total := 0.0
-		for _, v := range caps {
-			total += v
-		}
+		total := stats.SumMap(caps) // sorted-order sum: bit-reproducible
 		out := make(map[string]float64, len(caps))
 		if total > 0 {
 			for id, v := range caps {
@@ -131,14 +129,23 @@ func Figure10(l *Lab) *Result {
 
 	// Train the blend once on the pooled per-org observations — the
 	// paper's "train with private data, predict from public inputs".
+	// Observations are appended in sorted org order: the fit's normal
+	// equations sum over them, and float summation order must not depend
+	// on map iteration.
 	var ta, tx, tv []float64
 	for _, cc := range l.W.Countries() {
 		aSh := orgs.CountryShares(apnicUsers, cc)
 		iSh := ixpShares(cc)
-		for id, vol := range snap.VolumeShares(cc) {
+		vols := snap.VolumeShares(cc)
+		ids := make([]string, 0, len(vols))
+		for id := range vols {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
 			ta = append(ta, aSh[id])
 			tx = append(tx, iSh[id])
-			tv = append(tv, vol)
+			tv = append(tv, vols[id])
 		}
 	}
 	model := core.FitTrafficModel(ta, tx, tv)
@@ -224,7 +231,10 @@ func Figure10(l *Lab) *Result {
 func Figure13(l *Lab) *Result {
 	ix := l.IXP.Generate(PrimaryCDNDay)
 	var xs, ys []float64
-	for pair, capv := range ix.Capacities {
+	// Pairs() is sorted, so the regression's input order (and its float
+	// sums) cannot vary with map iteration.
+	for _, pair := range ix.Pairs() {
+		capv := ix.Capacities[pair]
 		pni := ix.PNI[pair]
 		if pni <= 0 {
 			continue

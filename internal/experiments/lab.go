@@ -9,7 +9,7 @@ package experiments
 import (
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/apnic"
 	"repro/internal/broadband"
@@ -19,6 +19,7 @@ import (
 	"repro/internal/ixp"
 	"repro/internal/mlab"
 	"repro/internal/rir"
+	"repro/internal/syncx"
 	"repro/internal/world"
 )
 
@@ -43,6 +44,14 @@ var (
 
 // Lab bundles one world with all its measurement simulators, caching the
 // expensive daily artifacts.
+//
+// Lab is safe for concurrent use: the generators themselves are read-only
+// after construction (the splittable RNG derives child streams without
+// advancing the parent), and the day caches are per-day singleflight
+// entries, so concurrent runners needing the same day block only on that
+// day's in-flight generation while distinct days generate in parallel.
+// Each day's artifact is a pure function of (seed, date), which is what
+// makes RunAll's output independent of parallelism.
 type Lab struct {
 	Seed      uint64
 	W         *world.World
@@ -54,9 +63,11 @@ type Lab struct {
 	IXP       *ixp.Generator
 	RIR       *rir.Generator
 
-	mu      sync.Mutex
-	reports map[dates.Date]*apnic.Report
-	snaps   map[dates.Date]*cdn.Snapshot
+	reports syncx.Cache[dates.Date, *apnic.Report]
+	snaps   syncx.Cache[dates.Date, *cdn.Snapshot]
+
+	reportGens atomic.Int64 // APNIC day generations (one per distinct day)
+	snapGens   atomic.Int64 // CDN day generations (one per distinct day)
 }
 
 // NewLab builds a world and all generators from one seed.
@@ -73,33 +84,32 @@ func NewLab(seed uint64) *Lab {
 		MLab:      mlab.New(w, seed),
 		IXP:       ixp.New(w, seed),
 		RIR:       rir.New(w, seed),
-		reports:   map[dates.Date]*apnic.Report{},
-		snaps:     map[dates.Date]*cdn.Snapshot{},
 	}
 }
 
-// Report returns the cached APNIC report for a day.
+// Report returns the cached APNIC report for a day, generating it at most
+// once even under concurrent access.
 func (l *Lab) Report(d dates.Date) *apnic.Report {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if r, ok := l.reports[d]; ok {
-		return r
-	}
-	r := l.APNIC.Generate(d)
-	l.reports[d] = r
-	return r
+	return l.reports.Get(d, func() *apnic.Report {
+		l.reportGens.Add(1)
+		return l.APNIC.Generate(d)
+	})
 }
 
-// Snapshot returns the cached CDN snapshot for a day.
+// Snapshot returns the cached CDN snapshot for a day, generating it at
+// most once even under concurrent access.
 func (l *Lab) Snapshot(d dates.Date) *cdn.Snapshot {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if s, ok := l.snaps[d]; ok {
-		return s
-	}
-	s := l.CDN.Generate(d)
-	l.snaps[d] = s
-	return s
+	return l.snaps.Get(d, func() *cdn.Snapshot {
+		l.snapGens.Add(1)
+		return l.CDN.Generate(d)
+	})
+}
+
+// CacheStats reports how many day artifacts have been generated so far.
+// Under the singleflight contract each counter equals the number of
+// distinct days requested, no matter how many goroutines asked.
+func (l *Lab) CacheStats() (apnicDays, cdnDays int64) {
+	return l.reportGens.Load(), l.snapGens.Load()
 }
 
 // Result is one regenerated table or figure.

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenResults is a tiny fixed result set exercising every formatting
+// path: metrics with and without paper counterparts, multi-line text,
+// and an empty metric map.
+func goldenResults() []*Result {
+	return []*Result{
+		{
+			ID:    "Table 9",
+			Title: "A synthetic table",
+			Text:  "col_a col_b\n1     2\n",
+			Metrics: map[string]float64{
+				"zeta":  0.125,
+				"alpha": 42,
+				"beta":  -3.5,
+			},
+			Paper: map[string]float64{"alpha": 40, "beta": -3},
+		},
+		{
+			ID:      "Figure 99",
+			Title:   "A figure with no metrics",
+			Text:    "ascii art here\n",
+			Metrics: map[string]float64{},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/experiments -run Golden -args -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWriteMarkdownGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, 42, goldenResults()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "markdown_golden.md", buf.Bytes())
+}
+
+func TestWriteConsoleGolden(t *testing.T) {
+	var buf bytes.Buffer
+	for _, res := range goldenResults() {
+		WriteConsole(&buf, res)
+	}
+	checkGolden(t, "console_golden.txt", buf.Bytes())
+}
+
+// TestWriteMarkdownStable guards the byte-identical guarantee directly:
+// two renderings of the same results must match exactly (map ordering is
+// the usual way this breaks).
+func TestWriteMarkdownStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteMarkdown(&a, 7, goldenResults()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMarkdown(&b, 7, goldenResults()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("WriteMarkdown is not deterministic for identical inputs")
+	}
+}

@@ -108,12 +108,10 @@ func ExtProxies(l *Lab) *Result {
 	}
 }
 
-// normalize scales a map to sum to 1 (empty maps pass through).
+// normalize scales a map to sum to 1 (empty maps pass through), summing
+// in sorted key order so the result is bit-reproducible.
 func normalize(m map[string]float64) map[string]float64 {
-	total := 0.0
-	for _, v := range m {
-		total += v
-	}
+	total := stats.SumMap(m)
 	if total == 0 {
 		return m
 	}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunRecord couples one runner's Result with its scheduling accounting.
+// Result is deterministic in (seed, runner); Elapsed is wall time and
+// varies run to run, which is why it lives here and not on Result.
+type RunRecord struct {
+	Runner  Runner
+	Result  *Result
+	Elapsed time.Duration
+}
+
+// RunAll executes runners against lab with at most parallelism workers
+// and returns one record per runner in the order given (paper order),
+// regardless of completion order. parallelism <= 0 means GOMAXPROCS.
+//
+// If emit is non-nil it is called once per record, in input order, as
+// soon as that record and all earlier ones have completed — callers can
+// stream output deterministically while later runners still execute.
+//
+// Results are byte-identical across parallelism levels: runners share
+// nothing but the lab, whose day caches are singleflight and whose
+// artifacts are pure functions of (seed, date). The scheduler itself
+// never reorders, merges, or mutates results.
+func RunAll(lab *Lab, runners []Runner, parallelism int, emit func(RunRecord)) []RunRecord {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(runners) {
+		parallelism = len(runners)
+	}
+	recs := make([]RunRecord, len(runners))
+	done := make([]chan struct{}, len(runners))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				t0 := time.Now()
+				res := runners[i].Run(lab)
+				recs[i] = RunRecord{Runner: runners[i], Result: res, Elapsed: time.Since(t0)}
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range runners {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	for i := range runners {
+		<-done[i]
+		if emit != nil {
+			emit(recs[i])
+		}
+	}
+	wg.Wait()
+	return recs
+}
+
+// TotalElapsed sums per-runner wall time — the serial cost of the sweep,
+// for comparing against the observed parallel wall clock.
+func TotalElapsed(recs []RunRecord) time.Duration {
+	var total time.Duration
+	for _, r := range recs {
+		total += r.Elapsed
+	}
+	return total
+}

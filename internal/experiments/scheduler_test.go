@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// canonical encodes everything deterministic about a Result so two runs
+// can be compared byte-for-byte.
+func canonical(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\x00%s\x00%s\x00", res.ID, res.Title, res.Text)
+	for _, k := range sortedMetricKeys(res.Metrics) {
+		fmt.Fprintf(&b, "%s=%s;", k, strconv.FormatFloat(res.Metrics[k], 'g', -1, 64))
+	}
+	b.WriteString("\x00")
+	for _, k := range sortedMetricKeys(res.Paper) {
+		fmt.Fprintf(&b, "%s=%s;", k, strconv.FormatFloat(res.Paper[k], 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// TestRunAllDeterministic is the scheduler's core guarantee: the same
+// seed swept at parallelism 1 and parallelism 8 yields byte-identical
+// results in identical order. Fresh labs for each sweep so no cache state
+// carries over.
+func TestRunAllDeterministic(t *testing.T) {
+	runners := Runners()
+	if testing.Short() {
+		var fast []Runner
+		for _, r := range runners {
+			switch r.Name { // the multi-second runners; everything else is <100ms
+			case "Figure7", "Figure8", "Figure11", "Figure12", "ExtDrivers", "ExtProxies":
+				continue
+			}
+			fast = append(fast, r)
+		}
+		runners = fast
+	}
+
+	serial := RunAll(NewLab(42), runners, 1, nil)
+	parallel := RunAll(NewLab(42), runners, 8, nil)
+
+	if len(serial) != len(runners) || len(parallel) != len(runners) {
+		t.Fatalf("record counts: serial %d, parallel %d, want %d", len(serial), len(parallel), len(runners))
+	}
+	for i := range runners {
+		if serial[i].Runner.Name != runners[i].Name || parallel[i].Runner.Name != runners[i].Name {
+			t.Fatalf("slot %d: order broken (serial %q, parallel %q, want %q)",
+				i, serial[i].Runner.Name, parallel[i].Runner.Name, runners[i].Name)
+		}
+		s, p := canonical(serial[i].Result), canonical(parallel[i].Result)
+		if s != p {
+			t.Errorf("%s: results differ between parallelism 1 and 8:\nserial:   %.200q\nparallel: %.200q",
+				runners[i].Name, s, p)
+		}
+	}
+}
+
+// TestRunAllEmitOrder uses synthetic runners that complete in reverse
+// order and checks emission still follows input order, with every record
+// populated and accounted.
+func TestRunAllEmitOrder(t *testing.T) {
+	const n = 8
+	var runners []Runner
+	for i := 0; i < n; i++ {
+		runners = append(runners, Runner{
+			Name: fmt.Sprintf("R%d", i),
+			Desc: "synthetic",
+			Run: func(*Lab) *Result {
+				// Later runners finish first, so in-order emission must
+				// buffer completions rather than stream them raw.
+				time.Sleep(time.Duration(n-i) * 5 * time.Millisecond)
+				return &Result{ID: fmt.Sprintf("R%d", i), Title: "t", Text: "x"}
+			},
+		})
+	}
+	var emitted []string
+	recs := RunAll(nil, runners, n, func(rec RunRecord) {
+		emitted = append(emitted, rec.Result.ID)
+	})
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("R%d", i)
+		if emitted[i] != want {
+			t.Fatalf("emitted[%d] = %s, want %s (full order %v)", i, emitted[i], want, emitted)
+		}
+		if recs[i].Result.ID != want {
+			t.Fatalf("recs[%d] = %s, want %s", i, recs[i].Result.ID, want)
+		}
+		if recs[i].Elapsed <= 0 {
+			t.Fatalf("recs[%d].Elapsed = %v, want > 0", i, recs[i].Elapsed)
+		}
+	}
+	if total := TotalElapsed(recs); total < 5*time.Millisecond*n {
+		t.Fatalf("TotalElapsed = %v, want at least the summed sleeps", total)
+	}
+}
+
+func TestRunAllEdgeCases(t *testing.T) {
+	if recs := RunAll(nil, nil, 4, nil); len(recs) != 0 {
+		t.Fatalf("empty runner list produced %d records", len(recs))
+	}
+	one := []Runner{{Name: "only", Desc: "d", Run: func(*Lab) *Result { return &Result{ID: "only"} }}}
+	for _, par := range []int{-3, 0, 1, 100} {
+		recs := RunAll(nil, one, par, nil)
+		if len(recs) != 1 || recs[0].Result.ID != "only" {
+			t.Fatalf("parallelism %d: bad records %+v", par, recs)
+		}
+	}
+}
+
+// TestLabSingleflightHammer hits the day caches from many goroutines on
+// overlapping dates and verifies each day's generator ran exactly once
+// and every caller got the same artifact instance.
+func TestLabSingleflightHammer(t *testing.T) {
+	l := NewLab(7)
+	reportDays := CDN2024Days[:4]
+	var wg sync.WaitGroup
+	const goroutines = 24
+	reports := make([]map[int]interface{}, goroutines)
+	snaps := make([]map[int]interface{}, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports[g] = map[int]interface{}{}
+			snaps[g] = map[int]interface{}{}
+			for i := 0; i < 3; i++ {
+				for di, d := range reportDays {
+					reports[g][di] = l.Report(d)
+					snaps[g][di] = l.Snapshot(d)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	apnicDays, cdnDays := l.CacheStats()
+	if int(apnicDays) != len(reportDays) {
+		t.Errorf("APNIC generations = %d, want %d (one per distinct day)", apnicDays, len(reportDays))
+	}
+	if int(cdnDays) != len(reportDays) {
+		t.Errorf("CDN generations = %d, want %d (one per distinct day)", cdnDays, len(reportDays))
+	}
+	for g := 1; g < goroutines; g++ {
+		for di := range reportDays {
+			if reports[g][di] != reports[0][di] {
+				t.Fatalf("goroutine %d got a different report instance for day %d", g, di)
+			}
+			if snaps[g][di] != snaps[0][di] {
+				t.Fatalf("goroutine %d got a different snapshot instance for day %d", g, di)
+			}
+		}
+	}
+}

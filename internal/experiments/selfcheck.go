@@ -10,6 +10,7 @@ import (
 	"repro/internal/dates"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/syncx"
 )
 
 // elasticityAnalysis fits the §5.1.1 log-log relationship on the Figure 6
@@ -73,8 +74,11 @@ func Figure7(l *Lab) *Result {
 	an := elasticityAnalysis(l)
 	days := dates.Range(dates.New(2024, 1, 3), dates.New(2024, 12, 25), 7)
 
-	perDay := map[string]map[string]core.ElasticityPoint{}
-	for _, d := range days {
+	// Each day's row depends only on that day; rows land in their own
+	// slice slot, so day-level parallelism preserves the result exactly.
+	dayRows := make([]map[string]core.ElasticityPoint, len(days))
+	syncx.ParallelEach(len(days), 0, func(i int) {
+		d := days[i]
 		row := map[string]core.ElasticityPoint{}
 		for _, cc := range l.W.Countries() {
 			s, u := l.APNIC.CountryTotals(cc, d)
@@ -82,7 +86,11 @@ func Figure7(l *Lab) *Result {
 				row[cc] = core.ElasticityPoint{Country: cc, Samples: float64(s), Users: u}
 			}
 		}
-		perDay[d.String()] = row
+		dayRows[i] = row
+	})
+	perDay := map[string]map[string]core.ElasticityPoint{}
+	for i, d := range days {
+		perDay[d.String()] = dayRows[i]
 	}
 	frac := an.DaysAboveFraction(perDay)
 
@@ -217,19 +225,30 @@ func bestDayBefore(l *Lab, cc string, d dates.Date, window int) dates.Date {
 func Figure8(l *Lab) *Result {
 	ccs := figure8Countries(l)
 	type curve struct {
-		label string
-		data  []float64
+		label    string
+		start    dates.Date
+		periods  int
+		stepDays int
+		adjusted bool
+		data     []float64
 	}
 	curves := []curve{
-		{"days", stabilityDistances(l, ccs, dates.New(2024, 2, 1), 20, 1, false)},
-		{"days-adj", stabilityDistances(l, ccs, dates.New(2024, 2, 1), 20, 1, true)},
-		{"weeks", stabilityDistances(l, ccs, dates.New(2024, 1, 1), 16, 7, false)},
-		{"weeks-adj", stabilityDistances(l, ccs, dates.New(2024, 1, 1), 16, 7, true)},
-		{"months", stabilityDistances(l, ccs, dates.New(2023, 1, 15), 14, 30, false)},
-		{"months-adj", stabilityDistances(l, ccs, dates.New(2023, 1, 15), 14, 30, true)},
-		{"years", stabilityDistances(l, ccs, dates.New(2015, 6, 1), 10, 365, false)},
-		{"years-adj", stabilityDistances(l, ccs, dates.New(2015, 6, 1), 10, 365, true)},
+		{label: "days", start: dates.New(2024, 2, 1), periods: 20, stepDays: 1},
+		{label: "days-adj", start: dates.New(2024, 2, 1), periods: 20, stepDays: 1, adjusted: true},
+		{label: "weeks", start: dates.New(2024, 1, 1), periods: 16, stepDays: 7},
+		{label: "weeks-adj", start: dates.New(2024, 1, 1), periods: 16, stepDays: 7, adjusted: true},
+		{label: "months", start: dates.New(2023, 1, 15), periods: 14, stepDays: 30},
+		{label: "months-adj", start: dates.New(2023, 1, 15), periods: 14, stepDays: 30, adjusted: true},
+		{label: "years", start: dates.New(2015, 6, 1), periods: 10, stepDays: 365},
+		{label: "years-adj", start: dates.New(2015, 6, 1), periods: 10, stepDays: 365, adjusted: true},
 	}
+	// The eight curves are independent pure computations over the shared
+	// read-only generators; each writes only its own slot, so parallel
+	// execution cannot change the result.
+	syncx.ParallelEach(len(curves), 0, func(i int) {
+		c := &curves[i]
+		c.data = stabilityDistances(l, ccs, c.start, c.periods, c.stepDays, c.adjusted)
+	})
 
 	metrics := map[string]float64{}
 	var rows [][]string

@@ -35,9 +35,12 @@ func Figure2(l *Lab) *Result {
 		survey := bb.Shares[cc]
 		apnicCountry := orgs.CountryShares(apnicUsers, cc)
 
-		// Renormalize APNIC over the surveyed orgs (§4.1).
+		// Renormalize APNIC over the surveyed orgs (§4.1). Sorted-order
+		// iteration keeps the float sums (and the R² fits below, whose
+		// input order these loops set) bit-reproducible across runs.
 		var apnicTotal, surveyedTotal float64
-		for id, v := range apnicCountry {
+		for _, id := range sortedMetricKeys(apnicCountry) {
+			v := apnicCountry[id]
 			apnicTotal += v
 			if _, ok := survey[id]; ok {
 				surveyedTotal += v
@@ -47,7 +50,8 @@ func Figure2(l *Lab) *Result {
 			continue
 		}
 		var xs, ys []float64
-		for id, sv := range survey {
+		for _, id := range sortedMetricKeys(survey) {
+			sv := survey[id]
 			av := apnicCountry[id] / surveyedTotal
 			xs = append(xs, 100*sv)
 			ys = append(ys, 100*av)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dates"
 	"repro/internal/orgs"
 	"repro/internal/rng"
+	"repro/internal/stats"
 	"repro/internal/world"
 )
 
@@ -91,19 +92,13 @@ func (g *Generator) Generate(d dates.Date) *Dataset {
 // to 1.
 func (ds *Dataset) CountryShares(country string) map[string]float64 {
 	out := map[string]float64{}
-	total := 0.0
 	for k, v := range ds.Counts {
 		if k.Country == country {
 			out[k.Org] = v
-			total += v
 		}
 	}
-	if total > 0 {
-		for k := range out {
-			out[k] /= total
-		}
-	}
-	return out
+	// Sorted-order summation keeps the shares bit-reproducible.
+	return stats.NormalizeMap(out)
 }
 
 // Countries returns the sorted countries with published counts.

@@ -163,13 +163,25 @@ func (r *Registry) All() []*Org {
 // synthetic org ID "AS<asn>" so that unattributed measurements are kept
 // visible rather than silently dropped.
 func (r *Registry) Aggregate(byAS map[CountryAS]float64) map[CountryOrg]float64 {
+	// Several ASes can fold into one org, so the += below sums floats;
+	// iterate in sorted key order to keep those sums bit-reproducible.
+	keys := make([]CountryAS, 0, len(byAS))
+	for k := range byAS {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Country != keys[j].Country {
+			return keys[i].Country < keys[j].Country
+		}
+		return keys[i].ASN < keys[j].ASN
+	})
 	out := make(map[CountryOrg]float64, len(byAS))
-	for k, v := range byAS {
+	for _, k := range keys {
 		id := fmt.Sprintf("AS%d", k.ASN)
 		if o, ok := r.byASN[k.ASN]; ok {
 			id = o.ID
 		}
-		out[CountryOrg{Country: k.Country, Org: id}] += v
+		out[CountryOrg{Country: k.Country, Org: id}] += byAS[k]
 	}
 	return out
 }

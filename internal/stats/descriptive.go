@@ -27,6 +27,38 @@ func Sum(xs []float64) float64 {
 	return sum
 }
 
+// SumMap adds a string-keyed map's values in sorted key order. Float
+// addition is not associative, so summing in map-iteration order would
+// make results differ in the last bits from run to run; every normalizer
+// in the measurement simulators goes through here (or sorts the same way)
+// to keep whole-pipeline outputs bit-reproducible.
+func SumMap(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]float64, len(keys))
+	for i, k := range keys {
+		vals[i] = m[k]
+	}
+	return Sum(vals)
+}
+
+// NormalizeMap scales m in place so its values sum to 1, using SumMap's
+// deterministic ordering. Maps with a non-positive total pass through
+// unchanged. Returns m for convenience.
+func NormalizeMap(m map[string]float64) map[string]float64 {
+	total := SumMap(m)
+	if total <= 0 {
+		return m
+	}
+	for k := range m {
+		m[k] /= total
+	}
+	return m
+}
+
 // Mean returns the arithmetic mean of xs, or NaN for empty input.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

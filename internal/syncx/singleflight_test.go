@@ -1,0 +1,115 @@
+package syncx
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheSingleflight hammers one key from many goroutines and checks
+// the fill ran exactly once and everyone saw its value.
+func TestCacheSingleflight(t *testing.T) {
+	var c Cache[string, int]
+	var fills atomic.Int64
+	var wg sync.WaitGroup
+	const goroutines = 64
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g] = c.Get("k", func() int {
+				fills.Add(1)
+				time.Sleep(2 * time.Millisecond) // widen the race window
+				return 7
+			})
+		}()
+	}
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fill ran %d times; singleflight demands exactly 1", n)
+	}
+	for g, v := range results {
+		if v != 7 {
+			t.Fatalf("goroutine %d saw %d, want 7", g, v)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestCacheDistinctKeysParallel proves fills for distinct keys overlap:
+// two fills that each block until the other has started can only finish
+// if they run concurrently.
+func TestCacheDistinctKeysParallel(t *testing.T) {
+	var c Cache[int, int]
+	started := make(chan int, 2)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Get(k, func() int {
+				started <- k
+				<-release // both fills must be in flight before either returns
+				return k
+			})
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("distinct-key fills serialized: second fill never started")
+		}
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestCacheManyKeysExactlyOnce mixes overlapping keys across goroutines
+// and checks per-key fill counts.
+func TestCacheManyKeysExactlyOnce(t *testing.T) {
+	var c Cache[int, int]
+	const keys = 10
+	fills := make([]atomic.Int64, keys)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := (g + i) % keys
+				if got := c.Get(k, func() int { fills[k].Add(1); return k * k }); got != k*k {
+					t.Errorf("Get(%d) = %d, want %d", k, got, k*k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := range fills {
+		if n := fills[k].Load(); n != 1 {
+			t.Errorf("key %d filled %d times, want 1", k, n)
+		}
+	}
+	if c.Len() != keys {
+		t.Errorf("Len = %d, want %d", c.Len(), keys)
+	}
+}
+
+func TestParallelEach(t *testing.T) {
+	for _, par := range []int{-1, 0, 1, 3, 64} {
+		out := make([]int, 100)
+		ParallelEach(len(out), par, func(i int) { out[i] = i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("par %d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+	ParallelEach(0, 4, func(int) { t.Fatal("fn called for n = 0") })
+}
