@@ -1,0 +1,160 @@
+// Command benchsweep records the performance trajectory of the full
+// experiment sweep: wall time, heap allocations, and per-runner timings
+// at one or more parallelism levels, written as a JSON artifact
+// (BENCH_sweep.json) that CI archives per commit so regressions show up
+// as a trend rather than an anecdote.
+//
+// Usage:
+//
+//	benchsweep [-seed N] [-parallel 1,0] [-out BENCH_sweep.json] [-max-allocs N]
+//
+// Parallelism 0 means GOMAXPROCS. Allocation counts are runtime.MemStats
+// deltas around the sweep itself — lab construction (world build) is
+// excluded, matching what BenchmarkFullSweepParallel1 times. With
+// -max-allocs > 0 the tool exits 1 if the first listed parallelism
+// level's sweep allocates more than the budget, which is how CI gates
+// allocation regressions (the budget is set ~20% above the expected
+// count).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// RunnerTiming is one runner's wall time within a sweep.
+type RunnerTiming struct {
+	Name      string `json:"name"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+// Sweep is the measurement of one full RunAll at a parallelism level.
+type Sweep struct {
+	Parallelism int   `json:"parallelism"` // as requested; 0 = GOMAXPROCS
+	Workers     int   `json:"workers"`     // effective worker count
+	WallNS      int64 `json:"wall_ns"`
+	SerialNS    int64 `json:"serial_ns"` // sum of per-runner wall times
+	Mallocs     int64 `json:"mallocs"`
+	AllocBytes  int64 `json:"alloc_bytes"`
+
+	Runners []RunnerTiming `json:"runners"`
+}
+
+// Report is the whole BENCH_sweep.json document.
+type Report struct {
+	GeneratedUnix int64   `json:"generated_unix"`
+	GoVersion     string  `json:"go_version"`
+	NumCPU        int     `json:"num_cpu"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Seed          uint64  `json:"seed"`
+	Sweeps        []Sweep `json:"sweeps"`
+}
+
+func main() {
+	seed := flag.Uint64("seed", 42, "world seed")
+	parallel := flag.String("parallel", "1,0", "comma-separated parallelism levels (0 = GOMAXPROCS)")
+	out := flag.String("out", "BENCH_sweep.json", "output path")
+	maxAllocs := flag.Int64("max-allocs", 0, "fail if the first level's sweep allocates more than this (0 = no gate)")
+	flag.Parse()
+
+	var levels []int
+	for _, f := range strings.Split(*parallel, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p < 0 {
+			fmt.Fprintf(os.Stderr, "bad -parallel entry %q\n", f)
+			os.Exit(2)
+		}
+		levels = append(levels, p)
+	}
+
+	rep := Report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Seed:          *seed,
+	}
+
+	for _, p := range levels {
+		s := measure(*seed, p)
+		rep.Sweeps = append(rep.Sweeps, s)
+		fmt.Fprintf(os.Stderr, "parallel=%d (workers=%d): wall=%s serial=%s mallocs=%d alloc=%s\n",
+			s.Parallelism, s.Workers, time.Duration(s.WallNS), time.Duration(s.SerialNS),
+			s.Mallocs, fmtBytes(s.AllocBytes))
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+
+	if *maxAllocs > 0 && rep.Sweeps[0].Mallocs > *maxAllocs {
+		fmt.Fprintf(os.Stderr, "allocation budget exceeded: %d > %d at parallelism %d\n",
+			rep.Sweeps[0].Mallocs, *maxAllocs, rep.Sweeps[0].Parallelism)
+		os.Exit(1)
+	}
+}
+
+// measure runs one full sweep on a fresh lab and returns its accounting.
+// The lab (world build) is constructed before the measured region so the
+// numbers isolate the sweep, like the benchmarks do.
+func measure(seed uint64, parallelism int) Sweep {
+	lab := experiments.NewLab(seed)
+	runners := experiments.Runners()
+
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runners) {
+		workers = len(runners)
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	recs := experiments.RunAll(lab, runners, parallelism, nil)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	s := Sweep{
+		Parallelism: parallelism,
+		Workers:     workers,
+		WallNS:      wall.Nanoseconds(),
+		SerialNS:    experiments.TotalElapsed(recs).Nanoseconds(),
+		Mallocs:     int64(after.Mallocs - before.Mallocs),
+		AllocBytes:  int64(after.TotalAlloc - before.TotalAlloc),
+	}
+	for _, r := range recs {
+		s.Runners = append(s.Runners, RunnerTiming{Name: r.Runner.Name, ElapsedNS: r.Elapsed.Nanoseconds()})
+	}
+	return s
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

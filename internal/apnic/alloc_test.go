@@ -1,0 +1,24 @@
+package apnic
+
+import (
+	"testing"
+
+	"repro/internal/dates"
+)
+
+// TestGenerateAllocBudget guards the allocation-free hot path: after the
+// world's year/day caches are warm, a daily report costs a handful of
+// allocations (the report struct, its row slice, and the per-country
+// maps) — measured at ~14 per run. A reintroduced fmt.Sprintf or
+// string-labelled Split in the per-(country, org, day) loops would add
+// tens of thousands and trip the budget immediately.
+func TestGenerateAllocBudget(t *testing.T) {
+	const budget = 64
+	g := testGen()
+	d := dates.New(2024, 4, 21)
+	g.Generate(d) // warm the world caches so steady-state cost is measured
+	allocs := testing.AllocsPerRun(5, func() { g.Generate(d) })
+	if allocs > budget {
+		t.Fatalf("apnic.Generate allocates %v times per run, budget %d", allocs, budget)
+	}
+}

@@ -23,6 +23,7 @@ package apnic
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/dates"
 	"repro/internal/itu"
@@ -55,18 +56,37 @@ type Generator struct {
 	Window int
 
 	root *rng.Stream
+
+	// asName caches the "<Org Name> (AS<n>)" display strings so report
+	// generation does not re-format one per row per day.
+	asName map[uint32]string
 }
+
+// Derivation channel keys for the generator's noise streams. Hot loops
+// derive per-(country, org, time) streams as integer tuples —
+// (channel, countryKey, orgKey, timeKey) — instead of formatted labels.
+const (
+	chanVolatility uint64 = iota + 1
+	chanPoisson
+)
 
 // New returns a generator with the paper-calibrated defaults.
 func New(w *world.World, ituEst *itu.Estimator, seed uint64) *Generator {
-	return &Generator{
+	g := &Generator{
 		W:          w,
 		ITU:        ituEst,
 		SampleRate: DefaultSampleRate,
 		MinSamples: DefaultMinSamples,
 		Window:     60,
 		root:       rng.New(seed).Split("apnic"),
+		asName:     map[uint32]string{},
 	}
+	for _, o := range w.Registry.All() {
+		for _, asn := range o.ASNs {
+			g.asName[asn] = fmt.Sprintf("%s (AS%d)", o.Name, asn)
+		}
+	}
+	return g
 }
 
 // Row is one line of the daily report.
@@ -86,13 +106,19 @@ type Report struct {
 	Date   dates.Date
 	Window int
 	Rows   []Row
+
+	// aggMu guards the lazily-cached OrgUsers aggregation below. Reports
+	// are shared read-only between concurrent experiment runners, each of
+	// which needs the same (country, org) aggregation.
+	aggMu    sync.Mutex
+	aggReg   *orgs.Registry
+	aggUsers map[orgs.CountryOrg]float64
 }
 
 // adReach returns the effective country ad reach on a date, applying the
 // Russia ads pause.
-func (g *Generator) adReach(country string, d dates.Date) float64 {
-	c := g.W.Market(country).Country
-	reach := c.AdReach
+func (g *Generator) adReach(m *world.Market, country string, d dates.Date) float64 {
+	reach := m.Country.AdReach
 	if country == "RU" && !d.Before(russiaAdsPaused) {
 		reach *= 0.25
 	}
@@ -102,11 +128,10 @@ func (g *Generator) adReach(country string, d dates.Date) float64 {
 // windowNoise returns the residual multiplicative volatility of the
 // 60-day-averaged sample count for an org, drawn per (org, week) so that
 // consecutive days share most of their window.
-func (g *Generator) windowNoise(country, orgID string, d dates.Date) float64 {
-	c := g.W.Market(country).Country
+func (g *Generator) windowNoise(m *world.Market, e *world.Entry, d dates.Date) float64 {
 	wk := d.DayNumber() / 7
-	s := g.root.Split(fmt.Sprintf("vol/%s/%s/%d", country, orgID, wk))
-	return s.LogNormal(0, c.AdVolatility)
+	s := g.root.Derive(chanVolatility, m.Key(), e.Key, uint64(int64(wk)))
+	return s.LogNormal(0, m.Country.AdVolatility)
 }
 
 // shutdownFactor returns the fraction of window sampling surviving
@@ -123,13 +148,19 @@ func (g *Generator) OrgSamples(country, orgID string, d dates.Date) int64 {
 	if e == nil {
 		return 0
 	}
-	apparent := g.W.APNICUsers(country, orgID, d)
-	mean := apparent * g.adReach(country, d) * e.AdFactor * e.APNICBias *
-		g.SampleRate * g.windowNoise(country, orgID, d) * g.shutdownFactor(country, d)
+	return g.orgSamples(g.W.Market(country), country, e, d)
+}
+
+// orgSamples is OrgSamples for an already-resolved (market, entry) pair —
+// the allocation-free inner loop of Generate and the per-country scans.
+func (g *Generator) orgSamples(m *world.Market, country string, e *world.Entry, d dates.Date) int64 {
+	apparent := g.W.APNICUsers(country, e.Org.ID, d)
+	mean := apparent * g.adReach(m, country, d) * e.AdFactor * e.APNICBias *
+		g.SampleRate * g.windowNoise(m, e, d) * g.shutdownFactor(country, d)
 	if mean <= 0 {
 		return 0
 	}
-	s := g.root.Split(fmt.Sprintf("poisson/%s/%s/%s", country, orgID, d))
+	s := g.root.Derive(chanPoisson, m.Key(), e.Key, uint64(int64(d.DayNumber())))
 	return s.Poisson(mean)
 }
 
@@ -141,17 +172,17 @@ func (g *Generator) Generate(d dates.Date) *Report {
 
 	type asSample struct {
 		asn     uint32
-		name    string
 		cc      string
 		samples int64
 	}
-	countrySamples := map[string]int64{}
-	var rows []asSample
+	countries := g.W.Countries()
+	countrySamples := make(map[string]int64, len(countries))
+	rows := make([]asSample, 0, 4096)
 
-	for _, code := range g.W.Countries() {
+	for _, code := range countries {
 		m := g.W.Market(code)
 		for _, e := range m.ActiveEntries(d) {
-			total := g.OrgSamples(code, e.Org.ID, d)
+			total := g.orgSamples(m, code, e, d)
 			if total == 0 {
 				continue
 			}
@@ -171,7 +202,6 @@ func (g *Generator) Generate(d dates.Date) *Report {
 				}
 				rows = append(rows, asSample{
 					asn:     asn,
-					name:    fmt.Sprintf("%s (AS%d)", e.Org.Name, asn),
 					cc:      code,
 					samples: share,
 				})
@@ -181,16 +211,24 @@ func (g *Generator) Generate(d dates.Date) *Report {
 	}
 
 	worldITU := g.ITU.WorldTotal(d)
+	// Rows arrive grouped by country; memoize the per-country ITU estimate
+	// rather than re-deriving it once per row.
+	ituByCC := make(map[string]float64, len(countrySamples))
+	rep.Rows = make([]Row, 0, len(rows))
 	for _, r := range rows {
 		ctotal := countrySamples[r.cc]
 		if ctotal == 0 {
 			continue
 		}
-		ituUsers := g.ITU.Users(r.cc, d)
+		ituUsers, ok := ituByCC[r.cc]
+		if !ok {
+			ituUsers = g.ITU.Users(r.cc, d)
+			ituByCC[r.cc] = ituUsers
+		}
 		users := float64(r.samples) / float64(ctotal) * ituUsers
 		rep.Rows = append(rep.Rows, Row{
 			ASN:         r.asn,
-			ASName:      r.name,
+			ASName:      g.asName[r.asn],
 			CC:          r.cc,
 			Users:       users,
 			PctCountry:  100 * float64(r.samples) / float64(ctotal),
@@ -212,13 +250,29 @@ func (g *Generator) Generate(d dates.Date) *Report {
 }
 
 // OrgUsers aggregates a report's estimated users to (country, org) pairs
-// using the registry (§3.1).
+// using the registry (§3.1). The result is freshly allocated; callers that
+// only read should prefer OrgUsersCached.
 func (r *Report) OrgUsers(reg *orgs.Registry) map[orgs.CountryOrg]float64 {
 	byAS := make(map[orgs.CountryAS]float64, len(r.Rows))
 	for _, row := range r.Rows {
 		byAS[orgs.CountryAS{Country: row.CC, ASN: row.ASN}] += row.Users
 	}
 	return reg.Aggregate(byAS)
+}
+
+// OrgUsersCached returns the OrgUsers aggregation, computing it at most
+// once per (report, registry) — experiment runners all aggregate the same
+// cached day report, and re-running the full aggregation per runner (or
+// per country, as TopOrgs used to) dominated their cost. The returned map
+// is shared: callers must not modify it.
+func (r *Report) OrgUsersCached(reg *orgs.Registry) map[orgs.CountryOrg]float64 {
+	r.aggMu.Lock()
+	defer r.aggMu.Unlock()
+	if r.aggUsers == nil || r.aggReg != reg {
+		r.aggUsers = r.OrgUsers(reg)
+		r.aggReg = reg
+	}
+	return r.aggUsers
 }
 
 // OrgSamples aggregates a report's raw samples to (country, org) pairs.
@@ -249,9 +303,10 @@ func (r *Report) CountrySamples() map[string]int64 {
 }
 
 // TopOrgs returns a country's org IDs ordered by estimated users,
-// descending.
+// descending. It reads the cached aggregation, so looping it over every
+// country costs one OrgUsers pass, not one per country.
 func (r *Report) TopOrgs(reg *orgs.Registry, country string) []string {
-	users := orgs.CountryShares(r.OrgUsers(reg), country)
+	users := orgs.CountryShares(r.OrgUsersCached(reg), country)
 	ids := make([]string, 0, len(users))
 	for id := range users {
 		ids = append(ids, id)
@@ -276,7 +331,7 @@ func (g *Generator) CountryTotals(country string, d dates.Date) (samples int64, 
 		return 0, 0
 	}
 	for _, e := range m.ActiveEntries(d) {
-		total := g.OrgSamples(country, e.Org.ID, d)
+		total := g.orgSamples(m, country, e, d)
 		if total == 0 {
 			continue
 		}
@@ -313,7 +368,7 @@ func (g *Generator) CountryOrgShares(country string, d dates.Date) map[string]fl
 	out := map[string]float64{}
 	var total int64
 	for _, e := range m.ActiveEntries(d) {
-		orgTotal := g.OrgSamples(country, e.Org.ID, d)
+		orgTotal := g.orgSamples(m, country, e, d)
 		if orgTotal == 0 {
 			continue
 		}

@@ -28,6 +28,10 @@ var SurveyCountries = []string{
 	"IT", "JP", "KR", "MX", "PL", "RU", "SE", "US", "ZA", "ES",
 }
 
+// chanSubs is the derivation channel key for the persistent per-org
+// subscriber-survey noise stream.
+const chanSubs uint64 = 1
+
 // officialReport marks countries with mandatory-disclosure regimes whose
 // numbers are nearly exact; the rest are looser market surveys.
 var officialReport = map[string]bool{
@@ -79,7 +83,8 @@ func (g *Generator) Generate(d dates.Date) *Dataset {
 			if subs < 1000 {
 				continue // below any survey's radar
 			}
-			noise := g.root.Split("subs/"+cc+"/"+e.Org.ID).LogNormal(0, sigma)
+			ns := g.root.Derive(chanSubs, m.Key(), e.Key)
+			noise := ns.LogNormal(0, sigma)
 			row[e.Org.ID] = subs * noise
 			total += row[e.Org.ID]
 		}

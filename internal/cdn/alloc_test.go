@@ -1,0 +1,24 @@
+package cdn
+
+import (
+	"testing"
+
+	"repro/internal/dates"
+)
+
+// TestGenerateAllocBudget guards the allocation-free hot path: after the
+// world's year/day caches are warm, a daily snapshot costs a handful of
+// allocations (the snapshot struct and its stats map) — measured at ~19
+// per run. A reintroduced fmt.Sprintf or string-labelled Split in the
+// per-(country, org, day) loop would add tens of thousands and trip the
+// budget immediately.
+func TestGenerateAllocBudget(t *testing.T) {
+	const budget = 64
+	g := testGen()
+	d := dates.New(2023, 7, 20)
+	g.Generate(d) // warm the world caches so steady-state cost is measured
+	allocs := testing.AllocsPerRun(5, func() { g.Generate(d) })
+	if allocs > budget {
+		t.Fatalf("cdn.Generate allocates %v times per run, budget %d", allocs, budget)
+	}
+}

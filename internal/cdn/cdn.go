@@ -23,7 +23,6 @@
 package cdn
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
@@ -58,6 +57,15 @@ type Generator struct {
 
 	root *rng.Stream
 }
+
+// Derivation channel keys for the generator's noise streams; hot loops
+// derive per-(country, org, day) streams as integer tuples instead of
+// formatted labels.
+const (
+	chanNoise uint64 = iota + 1
+	chanRequests
+	chanTor
+)
 
 // New returns a generator with the paper defaults.
 func New(w *world.World, seed uint64) *Generator {
@@ -100,8 +108,9 @@ func (g *Generator) entryFor(pair orgs.CountryOrg) *world.Entry {
 // Generate produces the snapshot for one day. Snapshots are independent
 // and deterministic in (world, seed, date).
 func (g *Generator) Generate(d dates.Date) *Snapshot {
-	snap := &Snapshot{Date: d, Stats: map[orgs.CountryOrg]OrgStats{}}
-	for _, pair := range g.W.CountryOrgPairs(d) {
+	pairs := g.W.CountryOrgPairs(d)
+	snap := &Snapshot{Date: d, Stats: make(map[orgs.CountryOrg]OrgStats, len(pairs)+1)}
+	for _, pair := range pairs {
 		e := g.entryFor(pair)
 		if e == nil {
 			continue
@@ -120,8 +129,10 @@ func (g *Generator) pairStats(pair orgs.CountryOrg, e *world.Entry, d dates.Date
 	if users <= 0 {
 		return OrgStats{}, false
 	}
-	c := g.W.Market(pair.Country).Country
+	m := g.W.Market(pair.Country)
+	c := m.Country
 	shut := g.W.ShutdownFactor(pair.Country, d)
+	day := uint64(int64(d.DayNumber()))
 
 	// Day-level activity noise: larger where the network environment is
 	// unstable (low freedom, volatile ad/market conditions).
@@ -129,7 +140,8 @@ func (g *Generator) pairStats(pair orgs.CountryOrg, e *world.Entry, d dates.Date
 	if c.Freedom < 30 {
 		sigma += 0.10
 	}
-	noise := g.root.Split(fmt.Sprintf("noise/%s/%s/%s", pair.Country, pair.Org, d)).LogNormal(0, sigma)
+	ns := g.root.Derive(chanNoise, m.Key(), e.Key, day)
+	noise := ns.LogNormal(0, sigma)
 
 	activity := users * e.CDNAffinity * noise * shut
 
@@ -138,7 +150,7 @@ func (g *Generator) pairStats(pair orgs.CountryOrg, e *world.Entry, d dates.Date
 	if e.BotShare > 0 && e.BotShare < 1 {
 		botMean = humanMean * e.BotShare / (1 - e.BotShare)
 	}
-	s := g.root.Split(fmt.Sprintf("req/%s/%s/%s", pair.Country, pair.Org, d))
+	s := g.root.Derive(chanRequests, m.Key(), e.Key, day)
 	sampledHuman := s.Poisson(humanMean)
 	sampledBot := s.Poisson(botMean)
 
@@ -203,7 +215,7 @@ func botFilterRates(threshold int) (keepHuman, leakBot float64) {
 // addTor injects the Tor pseudo-country the paper notes the CDN reports
 // under country code T1.
 func (g *Generator) addTor(snap *Snapshot, d dates.Date) {
-	s := g.root.Split("tor/" + d.String())
+	s := g.root.Derive(chanTor, uint64(int64(d.DayNumber())))
 	users := 1.5e6 * s.LogNormal(0, 0.05)
 	req := s.Poisson(users * 20 * g.SamplingRate)
 	snap.Stats[orgs.CountryOrg{Country: TorCountry, Org: TorOrg}] = OrgStats{

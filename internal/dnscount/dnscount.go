@@ -21,7 +21,6 @@
 package dnscount
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
@@ -30,6 +29,12 @@ import (
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/world"
+)
+
+// Derivation channel keys for the visibility and query-count streams.
+const (
+	chanVisibility uint64 = iota + 1
+	chanQueries
 )
 
 // CacheExponent is the sublinear users→queries exponent induced by
@@ -79,12 +84,12 @@ func (g *Generator) Generate(d dates.Date) *Dataset {
 			}
 			// Persistent per-org resolver visibility: how much of the
 			// org's resolution load reaches public vantage points.
-			vs := g.root.Split("vis/" + cc + "/" + e.Org.ID)
+			vs := g.root.Derive(chanVisibility, m.Key(), e.Key)
 			visibility := vs.LogNormal(0, 0.7)
 			if vs.Bool(0.3) {
 				visibility *= 0.05 // org operates its own resolvers
 			}
-			s := g.root.Split(fmt.Sprintf("q/%s/%s/%s", cc, e.Org.ID, d))
+			s := g.root.Derive(chanQueries, m.Key(), e.Key, uint64(int64(d.DayNumber())))
 			mean := (human + auto) * visibility * shut * s.LogNormal(0, 0.15)
 			n := s.Poisson(mean)
 			if n < g.MinQueries {

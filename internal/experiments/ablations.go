@@ -24,7 +24,7 @@ import (
 func AblationKendallFilter(l *Lab, minShare float64) float64 {
 	rep := l.Report(PrimaryCDNDay)
 	snap := l.Snapshot(PrimaryCDNDay)
-	apnicUsers := rep.OrgUsers(l.W.Registry)
+	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 
 	strong, total := 0, 0
 	for _, cc := range snap.Countries() {
@@ -66,7 +66,7 @@ func AblationBotFilter(l *Lab, threshold int) float64 {
 	gen.BotThreshold = threshold
 	snap := gen.Generate(PrimaryCDNDay)
 	rep := l.Report(PrimaryCDNDay)
-	apnicUsers := rep.OrgUsers(l.W.Registry)
+	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 
 	var sum float64
 	n := 0
@@ -112,7 +112,7 @@ func AblationSamplingRate(l *Lab, rate float64) float64 {
 func AblationMICGrid(l *Lab, exponent float64) float64 {
 	rep := l.Report(PrimaryCDNDay)
 	snap := l.Snapshot(PrimaryCDNDay)
-	apnicUsers := rep.OrgUsers(l.W.Registry)
+	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 
 	var gains []float64
 	for _, cc := range l.W.Countries() {
@@ -157,7 +157,7 @@ func AblationMinSamples(l *Lab, minSamples int64) float64 {
 	gen := apnic.New(l.W, l.ITU, l.Seed)
 	gen.MinSamples = minSamples
 	rep := gen.Generate(PrimaryCDNDay)
-	users := rep.OrgUsers(l.W.Registry)
+	users := rep.OrgUsersCached(l.W.Registry)
 	pairs := l.W.CountryOrgPairs(PrimaryCDNDay)
 	if len(pairs) == 0 {
 		return 0

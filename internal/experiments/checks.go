@@ -63,7 +63,7 @@ func CheckAll(l *Lab, d dates.Date) map[string]core.Report {
 // motivating use case: weighting a measurement platform's coverage.
 func WeightByUsers(l *Lab, d dates.Date, pairs []orgs.CountryOrg) (weights map[orgs.CountryOrg]float64, totalPct float64) {
 	rep := l.Report(d)
-	users := rep.OrgUsers(l.W.Registry)
+	users := rep.OrgUsersCached(l.W.Registry)
 	// Report rows are in deterministic order; summing them (rather than
 	// ranging over the users map) keeps the total bit-reproducible.
 	var worldTotal float64

@@ -54,7 +54,7 @@ func ExtTrafficModel(l *Lab) *Result {
 	rep := l.Report(PrimaryCDNDay)
 	snap := l.Snapshot(PrimaryCDNDay)
 	ix := l.IXP.Generate(PrimaryCDNDay)
-	apnicUsers := rep.OrgUsers(l.W.Registry)
+	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 
 	var ta, tx, tv []float64
 	for _, cc := range l.W.Countries() {

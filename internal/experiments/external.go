@@ -17,7 +17,7 @@ import (
 // shares and another per-country share map provider.
 func countryKendall(l *Lab, other func(cc string) map[string]float64, only func(cc string) bool) map[string]float64 {
 	rep := l.Report(PrimaryCDNDay)
-	apnicUsers := rep.OrgUsers(l.W.Registry)
+	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 	out := map[string]float64{}
 	for _, cc := range l.W.Countries() {
 		if only != nil && !only(cc) {
@@ -49,7 +49,7 @@ func Figure9(l *Lab) *Result {
 
 	bins := core.BinKendall(public, private, 0.1)
 	var rows [][]string
-	var mids, avgs []float64
+	var mids, avgs, weights []float64
 	for _, b := range bins {
 		rows = append(rows, []string{
 			fmt.Sprintf("[%.2f, %.2f)", b.Lo, b.Hi),
@@ -57,13 +57,17 @@ func Figure9(l *Lab) *Result {
 			report.F(b.Min, 2), report.F(b.Avg, 2), report.F(b.Max, 2),
 		})
 		// Singleton bins are pure noise; the trend statistic uses the
-		// populated bins only.
+		// populated bins only, and weights each bin by how many
+		// countries it aggregates — a sparsely populated extreme bin
+		// (2-org countries where tau is trivially ±1) must not swing
+		// the trend as hard as the 40-country bins in the middle.
 		if b.Count >= 3 {
 			mids = append(mids, (b.Lo+b.Hi)/2)
 			avgs = append(avgs, b.Avg)
+			weights = append(weights, float64(b.Count))
 		}
 	}
-	trend := stats.Pearson(mids, avgs)
+	trend := stats.WeightedPearson(mids, avgs, weights)
 
 	var b strings.Builder
 	b.WriteString(report.Table([]string{"M-Lab tau bin", "countries", "CDN tau min", "avg", "max"}, rows))
@@ -111,7 +115,7 @@ func Figure10(l *Lab) *Result {
 	rep := l.Report(PrimaryCDNDay)
 	snap := l.Snapshot(PrimaryCDNDay)
 	ix := l.IXP.Generate(PrimaryCDNDay)
-	apnicUsers := rep.OrgUsers(l.W.Registry)
+	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 
 	// Within-country IXP capacity shares, so that all three quantities
 	// are commensurate relative measures.

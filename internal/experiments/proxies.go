@@ -37,7 +37,7 @@ func ExtProxies(l *Lab) *Result {
 	campaign := astopo.NewCampaign(l.W, graph, l.Seed, 24)
 	popularity := campaign.Run(PrimaryCDNDay, 150)
 
-	apnicUsers := rep.OrgUsers(l.W.Registry)
+	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 
 	type proxy struct {
 		name   string

@@ -17,7 +17,7 @@ import (
 // snapshot; shared by Figures 6, 7 and 11 and the artifact checks.
 func elasticityAnalysis(l *Lab) core.ElasticityAnalysis {
 	rep := l.Report(Figure6Day)
-	users := rep.OrgUsers(l.W.Registry)
+	users := rep.OrgUsersCached(l.W.Registry)
 	samples := rep.OrgSamples(l.W.Registry)
 	return core.AnalyzeElasticity(core.TopOrgPoints(users, samples, 1))
 }

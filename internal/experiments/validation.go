@@ -20,7 +20,7 @@ import (
 func Figure2(l *Lab) *Result {
 	bb := l.Broadband.Generate(BroadbandDay)
 	rep := l.Report(BroadbandDay)
-	apnicUsers := rep.OrgUsers(l.W.Registry)
+	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 
 	var allX, allY []float64
 	type ccRow struct {
@@ -114,7 +114,7 @@ func Figure3(l *Lab) *Result {
 	rep := l.Report(PrimaryCDNDay)
 	snap := l.Snapshot(PrimaryCDNDay)
 
-	apnicUsers := rep.OrgUsers(l.W.Registry)
+	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 	uas := snap.UserAgents()
 	vols := snap.Volumes()
 
@@ -162,7 +162,7 @@ func Figure3(l *Lab) *Result {
 func Table3(l *Lab) *Result {
 	rep := l.Report(PrimaryCDNDay)
 	snap := l.Snapshot(PrimaryCDNDay)
-	apnicUsers := rep.OrgUsers(l.W.Registry)
+	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 	cov := core.PerCountryCoverage(apnicUsers, snap.Volumes())
 
 	var nonzero []core.CountryCoverage
@@ -237,7 +237,7 @@ func medianCoverage(cov []core.CountryCoverage) float64 {
 func figure4Side(l *Lab, metric string) (map[string]core.Agreement, map[string]bool) {
 	rep := l.Report(PrimaryCDNDay)
 	snap := l.Snapshot(PrimaryCDNDay)
-	apnicUsers := rep.OrgUsers(l.W.Registry)
+	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 
 	agreements := map[string]core.Agreement{}
 	principal := map[string]bool{}
@@ -320,7 +320,7 @@ func Figure4(l *Lab) *Result {
 func Figure5(l *Lab) *Result {
 	rep := l.Report(PrimaryCDNDay)
 	snap := l.Snapshot(PrimaryCDNDay)
-	apnicUsers := rep.OrgUsers(l.W.Registry)
+	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 
 	slope := func(cc, metric string) (float64, float64) {
 		apnicShares := orgs.CountryShares(apnicUsers, cc)

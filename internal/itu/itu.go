@@ -9,8 +9,6 @@
 package itu
 
 import (
-	"fmt"
-
 	"repro/internal/dates"
 	"repro/internal/rng"
 	"repro/internal/world"
@@ -45,6 +43,12 @@ func weekIndex(d dates.Date) int {
 	return n / 7
 }
 
+// Derivation channel keys for the weekly revision and anomaly streams.
+const (
+	chanRevision uint64 = iota + 1
+	chanSpike
+)
+
 // Users returns the ITU-style estimate of a country's Internet users for
 // the week containing d.
 func (e *Estimator) Users(country string, d dates.Date) float64 {
@@ -52,10 +56,12 @@ func (e *Estimator) Users(country string, d dates.Date) float64 {
 	if base <= 0 {
 		return 0
 	}
+	// TotalUsers > 0 implies the market exists.
+	key := e.w.Market(country).Key()
 	wk := weekIndex(d)
-	s := e.root.Split(fmt.Sprintf("%s/%d", country, wk))
+	s := e.root.Derive(chanRevision, key, uint64(int64(wk)))
 	v := base * s.LogNormal(0, e.noiseSigma)
-	if f := e.spikeFactor(country, wk); f != 1 {
+	if f := e.spikeFactor(country, key, wk); f != 1 {
 		v *= f
 	}
 	return v
@@ -64,12 +70,12 @@ func (e *Estimator) Users(country string, d dates.Date) float64 {
 // spikeFactor returns the anomaly multiplier for a (country, week).
 // France's 2019-05-13 week is a guaranteed event; every country
 // additionally has a small number of random anomaly weeks per decade.
-func (e *Estimator) spikeFactor(country string, wk int) float64 {
+func (e *Estimator) spikeFactor(country string, key uint64, wk int) float64 {
 	if country == "FR" && wk == weekIndex(dates.New(2019, 5, 13)) {
 		return 1.10 // ≈ +6M users on a ~62M base
 	}
 	// Random anomalies: ~0.3% of weeks, i.e. roughly 1-2 per decade.
-	s := e.root.Split(fmt.Sprintf("spike/%s/%d", country, wk))
+	s := e.root.Derive(chanSpike, key, uint64(int64(wk)))
 	if s.Bool(0.003) {
 		return s.Range(1.05, 1.2)
 	}

@@ -35,6 +35,10 @@ const (
 	port400 = 400 * Gbps
 )
 
+// chanCap is the derivation channel key for the persistent per-org
+// capacity/registration noise stream.
+const chanCap uint64 = 1
+
 // Generator produces IXP capacity snapshots over a world.
 type Generator struct {
 	W    *world.World
@@ -96,7 +100,7 @@ func (g *Generator) Generate(d dates.Date) *Snapshot {
 			// bytes/day at intensity TrafficPerUser).
 			demand := users * e.TrafficPerUser * 2.0e7 * 8 / 86400
 
-			s := g.root.Split("cap/" + cc + "/" + e.Org.ID)
+			s := g.root.Derive(chanCap, m.Key(), e.Key)
 			headroom := s.Range(2, 4)
 			total := demand * headroom
 

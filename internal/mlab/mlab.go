@@ -14,7 +14,6 @@
 package mlab
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/dates"
@@ -22,6 +21,13 @@ import (
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/world"
+)
+
+// Derivation channel keys for the per-org and per-month noise streams.
+const (
+	chanSavvy uint64 = iota + 1
+	chanMonthNoise
+	chanCount
 )
 
 // Generator produces M-Lab-style test-count datasets over a world.
@@ -65,20 +71,24 @@ func (g *Generator) Generate(d dates.Date) *Dataset {
 			rate *= 0.02
 		}
 		shut := g.W.ShutdownWindowFactor(cc, month.AddDays(27), 28)
+		monthKey := uint64(int64(month.DayNumber()))
 		for _, e := range m.ActiveEntries(month) {
 			if !e.Org.Type.HostsUsers() {
 				continue
 			}
 			users := g.W.TrueUsers(cc, e.Org.ID, month)
 			// Persistent voluntary-tester skew per org.
-			savvy := g.root.Split("savvy/"+cc+"/"+e.Org.ID).LogNormal(0, 0.25)
+			ss := g.root.Derive(chanSavvy, m.Key(), e.Key)
+			savvy := ss.LogNormal(0, 0.25)
 			// Month-level performance-trigger noise.
-			noise := g.root.Split(fmt.Sprintf("m/%s/%s/%s", cc, e.Org.ID, month)).LogNormal(0, 0.12)
+			ms := g.root.Derive(chanMonthNoise, m.Key(), e.Key, monthKey)
+			noise := ms.LogNormal(0, 0.12)
 			mean := users * rate * savvy * noise * shut
 			if mean <= 0 {
 				continue
 			}
-			n := g.root.Split(fmt.Sprintf("n/%s/%s/%s", cc, e.Org.ID, month)).Poisson(mean)
+			cs := g.root.Derive(chanCount, m.Key(), e.Key, monthKey)
+			n := cs.Poisson(mean)
 			if n < 20 {
 				continue // too few tests to be published meaningfully
 			}

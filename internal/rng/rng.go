@@ -52,6 +52,42 @@ func (s *Stream) SplitN(label string, n int) *Stream {
 	return c
 }
 
+// golden is the SplitMix64 increment (2^64 / phi), also used to decorrelate
+// integer derivation keys before mixing.
+const golden = 0x9e3779b97f4a7c15
+
+// Derive returns a child stream keyed by a tuple of integers. It is the
+// allocation-free counterpart of Split for hot per-(entity, day) loops:
+// callers precompute a uint64 key per entity (KeyString at construction
+// time) and derive with (channel, entityKey..., dayNumber) tuples instead
+// of formatting a label. Like Split, Derive never advances the parent, and
+// the same (parent seed, key tuple) always yields the same child.
+//
+// The child is returned by value so the whole derivation stays on the
+// stack; distinct tuples (including tuples of different lengths) yield
+// statistically independent streams via double SplitMix64 finalization.
+func (s *Stream) Derive(keys ...uint64) Stream {
+	st := s.state
+	for _, k := range keys {
+		st = mix(st ^ mix(k+golden))
+	}
+	return Stream{state: st}
+}
+
+// KeyString hashes an identifier into a derivation key for Derive.
+// Intended for construction time: hash each country code / org ID once,
+// store the key, and the hot loops never touch strings again.
+func KeyString(id string) uint64 {
+	// FNV-1a, finalized with the SplitMix64 mixer so that short ASCII
+	// identifiers are spread over the full 64-bit key space.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return mix(h)
+}
+
 // mix is the SplitMix64 finalizer; it turns correlated inputs into
 // well-distributed seeds.
 func mix(z uint64) uint64 {
@@ -62,7 +98,7 @@ func mix(z uint64) uint64 {
 
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Stream) Uint64() uint64 {
-	s.state += 0x9e3779b97f4a7c15
+	s.state += golden
 	return mix(s.state)
 }
 

@@ -28,6 +28,49 @@ func Pearson(xs, ys []float64) float64 {
 	return sxy / math.Sqrt(sxx*syy)
 }
 
+// WeightedPearson returns the Pearson correlation of (xs, ys) where each
+// point carries weight ws[i] — e.g. a binned summary where each bin
+// aggregates a different number of underlying observations. It returns
+// NaN if the lengths differ, fewer than two points carry positive
+// weight, or either side has zero weighted variance.
+func WeightedPearson(xs, ys, ws []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n != len(ws) || n < 2 {
+		return math.NaN()
+	}
+	var w, mx, my float64
+	positive := 0
+	for i := 0; i < n; i++ {
+		if ws[i] <= 0 {
+			continue
+		}
+		positive++
+		w += ws[i]
+		mx += ws[i] * xs[i]
+		my += ws[i] * ys[i]
+	}
+	if positive < 2 || w == 0 {
+		return math.NaN()
+	}
+	mx /= w
+	my /= w
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		if ws[i] <= 0 {
+			continue
+		}
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += ws[i] * dx * dy
+		sxx += ws[i] * dx * dx
+		syy += ws[i] * dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
 // Spearman returns Spearman's rank correlation: the Pearson correlation of
 // the rank-transformed data, with average ranks assigned to ties.
 func Spearman(xs, ys []float64) float64 {

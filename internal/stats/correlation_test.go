@@ -35,6 +35,43 @@ func TestPearsonDegenerate(t *testing.T) {
 	}
 }
 
+func TestWeightedPearsonUnitWeights(t *testing.T) {
+	// With all-ones weights it must agree with the unweighted version.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2, 1, 4, 3, 7, 5}
+	ws := []float64{1, 1, 1, 1, 1, 1}
+	approx(t, WeightedPearson(xs, ys, ws), Pearson(xs, ys), 1e-12, "WeightedPearson unit weights")
+}
+
+func TestWeightedPearsonReplication(t *testing.T) {
+	// An integer weight must behave exactly like repeating the point.
+	xs := []float64{1, 2, 3}
+	ys := []float64{1, 3, 2}
+	ws := []float64{3, 1, 2}
+	rep := Pearson([]float64{1, 1, 1, 2, 3, 3}, []float64{1, 1, 1, 3, 2, 2})
+	approx(t, WeightedPearson(xs, ys, ws), rep, 1e-12, "WeightedPearson replication")
+}
+
+func TestWeightedPearsonIgnoresZeroWeight(t *testing.T) {
+	// A zero-weight outlier must not move the statistic.
+	xs := []float64{1, 2, 3, 100}
+	ys := []float64{2, 4, 6, -50}
+	ws := []float64{1, 1, 1, 0}
+	approx(t, WeightedPearson(xs, ys, ws), 1, 1e-12, "WeightedPearson zero weight")
+}
+
+func TestWeightedPearsonDegenerate(t *testing.T) {
+	if !math.IsNaN(WeightedPearson([]float64{1, 2}, []float64{1, 2}, []float64{1})) {
+		t.Fatal("WeightedPearson with mismatched lengths should be NaN")
+	}
+	if !math.IsNaN(WeightedPearson([]float64{1, 2}, []float64{1, 2}, []float64{1, 0})) {
+		t.Fatal("WeightedPearson with one positive weight should be NaN")
+	}
+	if !math.IsNaN(WeightedPearson([]float64{1, 1}, []float64{1, 2}, []float64{1, 1})) {
+		t.Fatal("WeightedPearson with zero x variance should be NaN")
+	}
+}
+
 func TestRanks(t *testing.T) {
 	got := Ranks([]float64{10, 20, 20, 30})
 	want := []float64{1, 2.5, 2.5, 4}

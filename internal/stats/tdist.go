@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Special-function plumbing for Student-t confidence intervals, implemented
 // with the classic Numerical-Recipes incomplete-beta continued fraction.
@@ -94,15 +97,31 @@ func TCDF(t, nu float64) float64 {
 	return p
 }
 
+// tqKey identifies one quantile evaluation for the memo table.
+type tqKey struct{ p, nu float64 }
+
+// tqMemo caches TQuantile results. The bisection runs 200 TCDF
+// evaluations (each a continued-fraction expansion), and callers ask for
+// the same handful of (confidence level, degrees-of-freedom) pairs over
+// and over across regression fits, so the hit rate is effectively 100%
+// after warm-up.
+var tqMemo sync.Map // tqKey -> float64
+
 // TQuantile returns the p-th quantile of a Student-t distribution with nu
 // degrees of freedom (the inverse of TCDF), computed by bisection.
 // Typical use: TQuantile(0.975, n-2) for a two-sided 95% interval.
+// Results are memoized; the set of distinct (p, nu) pairs in any run is
+// small and the table never needs eviction.
 func TQuantile(p, nu float64) float64 {
 	if nu <= 0 || p <= 0 || p >= 1 {
 		return math.NaN()
 	}
 	if p == 0.5 {
 		return 0
+	}
+	k := tqKey{p: p, nu: nu}
+	if v, ok := tqMemo.Load(k); ok {
+		return v.(float64)
 	}
 	lo, hi := -1e3, 1e3
 	for i := 0; i < 200; i++ {
@@ -113,7 +132,9 @@ func TQuantile(p, nu float64) float64 {
 			hi = mid
 		}
 	}
-	return (lo + hi) / 2
+	v := (lo + hi) / 2
+	tqMemo.Store(k, v)
+	return v
 }
 
 // NormalCDF returns the standard normal CDF Φ(x).

@@ -152,6 +152,7 @@ func (w *World) newEntry(c geo.Country, s *rng.Stream, typ orgs.Type, idx int, w
 
 	e := &Entry{
 		Org:        o,
+		Key:        rng.KeyString(id),
 		BaseWeight: weight,
 		EntryYear:  0,
 		ASNWeights: asnW,
@@ -162,19 +163,19 @@ func (w *World) newEntry(c geo.Country, s *rng.Stream, typ orgs.Type, idx int, w
 	case orgs.FixedAccess:
 		e.MobileShare = s.Range(0, 0.1)
 		e.AdFactor = s.Range(0.95, 1.05)
-		e.TrafficPerUser = s.LogNormal(0, 0.18)
+		e.TrafficPerUser = s.LogNormal(0, 0.14)
 		e.ReqPerUser = 80 * s.LogNormal(0, 0.10)
 		e.BotShare = s.Range(0.05, 0.12)
 	case orgs.MobileCarrier:
 		e.MobileShare = s.Range(0.9, 1.0)
 		e.AdFactor = s.Range(1.0, 1.15) // mobile browsing sees more ads
-		e.TrafficPerUser = 0.7 * s.LogNormal(0, 0.18)
+		e.TrafficPerUser = 0.7 * s.LogNormal(0, 0.14)
 		e.ReqPerUser = 70 * s.LogNormal(0, 0.10)
 		e.BotShare = s.Range(0.03, 0.08)
 	case orgs.ConvergedAccess:
 		e.MobileShare = s.Range(0.25, 0.85)
 		e.AdFactor = s.Range(0.95, 1.1)
-		e.TrafficPerUser = 0.9 * s.LogNormal(0, 0.18)
+		e.TrafficPerUser = 0.9 * s.LogNormal(0, 0.14)
 		e.ReqPerUser = 80 * s.LogNormal(0, 0.10)
 		e.BotShare = s.Range(0.04, 0.1)
 	case orgs.Enterprise:

@@ -46,18 +46,15 @@ func (w *World) TrueUsers(country, orgID string, d dates.Date) float64 {
 	return w.TotalUsers(country, d) * w.Share(country, orgID, d)
 }
 
-// Entry returns the market entry for an org in a country, or nil.
+// Entry returns the market entry for an org in a country, or nil. Lookups
+// hit the per-market index built at construction, so the call is O(1) and
+// safe in per-(org, day) loops.
 func (w *World) Entry(country, orgID string) *Entry {
 	m := w.markets[country]
 	if m == nil {
 		return nil
 	}
-	for _, e := range m.Entries {
-		if e.Org.ID == orgID {
-			return e
-		}
-	}
-	return nil
+	return m.byOrg[orgID]
 }
 
 // VPNFunnelTotal returns the number of foreign users funneled through the
@@ -128,32 +125,39 @@ func (w *World) isVPNHub(country string) bool {
 
 // CountryOrgPairs enumerates every (country, org) pair with nonzero CDN
 // users on a date: each market's active entries, plus the VPN org's
-// origin-country appearances.
+// origin-country appearances. Activity only changes at year granularity,
+// so the slice is cached per year; callers must treat it as read-only.
 func (w *World) CountryOrgPairs(d dates.Date) []orgs.CountryOrg {
-	var out []orgs.CountryOrg
-	for _, code := range w.codes {
-		for _, e := range w.markets[code].Entries {
-			if !activeIn(e, d.Year) {
-				continue
+	return w.pairs.Get(d.Year, func() []orgs.CountryOrg {
+		out := make([]orgs.CountryOrg, 0, 4096)
+		for _, code := range w.codes {
+			for _, e := range w.markets[code].Entries {
+				if !activeIn(e, d.Year) {
+					continue
+				}
+				out = append(out, orgs.CountryOrg{Country: code, Org: e.Org.ID})
 			}
-			out = append(out, orgs.CountryOrg{Country: code, Org: e.Org.ID})
+			if w.VPNOrgID != "" && w.vpnOrigin[code] > 0 {
+				out = append(out, orgs.CountryOrg{Country: code, Org: w.VPNOrgID})
+			}
 		}
-		if w.VPNOrgID != "" && w.vpnOrigin[code] > 0 {
-			out = append(out, orgs.CountryOrg{Country: code, Org: w.VPNOrgID})
-		}
-	}
-	return out
+		return out
+	})
 }
 
 // ActiveEntries returns a market's entries active in the date's year.
+// The slice is cached per year (entry and exit are annual events) and
+// shared between callers; callers must treat it as read-only.
 func (m *Market) ActiveEntries(d dates.Date) []*Entry {
-	var out []*Entry
-	for _, e := range m.Entries {
-		if activeIn(e, d.Year) {
-			out = append(out, e)
+	return m.active.Get(d.Year, func() []*Entry {
+		out := make([]*Entry, 0, len(m.Entries))
+		for _, e := range m.Entries {
+			if activeIn(e, d.Year) {
+				out = append(out, e)
+			}
 		}
-	}
-	return out
+		return out
+	})
 }
 
 // OrgCount returns the number of organizations active in a country in a
@@ -184,7 +188,14 @@ func (w *World) ShutdownFactor(country string, d dates.Date) float64 {
 	if m == nil || m.Country.ShutdownRate == 0 {
 		return 1
 	}
-	s := w.events.Split("shutdown/" + country + "/" + d.String())
+	return w.shutdownFactor(m, d)
+}
+
+// chanShutdown is the world's event-channel derivation key.
+const chanShutdown uint64 = 1
+
+func (w *World) shutdownFactor(m *Market, d dates.Date) float64 {
+	s := w.events.Derive(chanShutdown, m.key, uint64(int64(d.DayNumber())))
 	if s.Bool(m.Country.ShutdownRate) {
 		return 0.1
 	}
@@ -193,15 +204,19 @@ func (w *World) ShutdownFactor(country string, d dates.Date) float64 {
 
 // ShutdownWindowFactor averages ShutdownFactor over the window days
 // ending at d — the suppression a window-averaged measurement like APNIC
-// experiences.
+// experiences. The average is identical for every org in the country, so
+// it is cached per (country, day, window); concurrent callers share one
+// singleflight fill.
 func (w *World) ShutdownWindowFactor(country string, d dates.Date, window int) float64 {
 	m := w.markets[country]
 	if m == nil || m.Country.ShutdownRate == 0 {
 		return 1
 	}
-	total := 0.0
-	for i := 0; i < window; i++ {
-		total += w.ShutdownFactor(country, d.AddDays(-i))
-	}
-	return total / float64(window)
+	return m.winShut.Get(winKey{day: d.DayNumber(), window: window}, func() float64 {
+		total := 0.0
+		for i := 0; i < window; i++ {
+			total += w.shutdownFactor(m, d.AddDays(-i))
+		}
+		return total / float64(window)
+	})
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/netdb"
 	"repro/internal/orgs"
 	"repro/internal/rng"
+	"repro/internal/syncx"
 )
 
 // Config parameterizes world generation.
@@ -48,6 +49,11 @@ func (c Config) withDefaults() Config {
 // Entry is one organization's position in one country's market.
 type Entry struct {
 	Org *orgs.Org
+
+	// Key is the org's precomputed integer derivation key (rng.KeyString
+	// of the org ID), so per-day noise streams can be derived without
+	// formatting labels in the hot loops.
+	Key uint64
 
 	// BaseWeight is the unnormalized market weight before the yearly
 	// consolidation tilt; EntryYear/ExitYear bound the org's activity.
@@ -101,7 +107,21 @@ type Market struct {
 
 	// shares[year][orgID] is the normalized user share at Jan 1 of year.
 	shares map[int]map[string]float64
+
+	key   uint64            // precomputed country derivation key
+	byOrg map[string]*Entry // org ID → entry index for O(1) Entry lookups
+
+	// active caches ActiveEntries per year (activity only changes at year
+	// granularity); winShut caches ShutdownWindowFactor per (day, window).
+	// Both are singleflight so concurrent runners share one fill.
+	active  syncx.Cache[int, []*Entry]
+	winShut syncx.Cache[winKey, float64]
 }
+
+type winKey struct{ day, window int }
+
+// Key returns the market's precomputed country derivation key.
+func (m *Market) Key() uint64 { return m.key }
 
 // World is the generated ground truth.
 type World struct {
@@ -116,6 +136,10 @@ type World struct {
 	nextASN uint32   // global ASN assignment cursor
 
 	events *rng.Stream // real-world event realizations (shutdown days)
+
+	// pairs caches CountryOrgPairs per year: entry/exit is annual, and the
+	// VPN origin mix is static, so a whole year shares one slice.
+	pairs syncx.Cache[int, []orgs.CountryOrg]
 }
 
 // Build generates a world from the configuration. Generation is
@@ -147,9 +171,17 @@ func Build(cfg Config) (*World, error) {
 	w.applyMergers(root.Split("mergers"))
 	w.buildVPN(root.Split("vpn"))
 
-	// Precompute yearly share tables (address sizing depends on them).
+	// Precompute yearly share tables (address sizing depends on them) and
+	// the per-market indexes: the org→entry map behind Entry lookups and
+	// the integer derivation keys the hot loops use instead of labels.
 	for _, code := range w.codes {
-		w.computeShares(w.markets[code])
+		m := w.markets[code]
+		w.computeShares(m)
+		m.key = rng.KeyString(code)
+		m.byOrg = make(map[string]*Entry, len(m.Entries))
+		for _, e := range m.Entries {
+			m.byOrg[e.Org.ID] = e
+		}
 	}
 
 	// Allocate and announce IP space once org structure is final.
