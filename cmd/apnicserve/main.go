@@ -3,20 +3,30 @@
 //
 // Usage:
 //
-//	apnicserve -addr :8080 -seed 42 -from 2023-01-01 -to 2024-12-31
+//	apnicserve -addr :8080 -seed 42 -from 2023-01-01 -to 2024-12-31 [-log] [-dump-metrics]
 //
 // Then:
 //
 //	curl http://localhost:8080/v1/dates
 //	curl http://localhost:8080/v1/reports/2024-04-21.csv | head
+//	curl http://localhost:8080/metrics                    # Prometheus text
+//	curl 'http://localhost:8080/metrics?format=json'      # expvar-style JSON
+//
+// -log emits one structured line per request to stderr; -dump-metrics
+// prints the full metrics registry as JSON on shutdown (SIGINT/SIGTERM),
+// so even a non-scraped run leaves an operational record.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/apnic"
@@ -31,6 +41,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "world seed")
 	from := flag.String("from", "2013-11-01", "first served date")
 	to := flag.String("to", "2024-12-31", "last served date")
+	logReqs := flag.Bool("log", false, "log every request (structured, to stderr)")
+	dumpMetrics := flag.Bool("dump-metrics", false, "print the metrics registry as JSON on shutdown")
 	flag.Parse()
 
 	first, err := dates.Parse(*from)
@@ -48,14 +60,37 @@ func main() {
 	w := world.MustBuild(world.Config{Seed: *seed})
 	gen := apnic.New(w, itu.New(w, *seed), *seed)
 	srv := apnicweb.NewServer(gen, first, last)
+	if *logReqs {
+		srv.Log = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("serving %s..%s on %s", first, last, *addr)
-	if err := httpSrv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %s..%s on %s (metrics on /metrics)", first, last, *addr)
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+
+	if *dumpMetrics {
+		if err := srv.Metrics().WriteJSON(os.Stderr); err != nil {
+			log.Printf("dumping metrics: %v", err)
+		}
 	}
 }

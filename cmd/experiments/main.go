@@ -29,6 +29,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent experiments (<=0 means GOMAXPROCS)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	md := flag.String("md", "", "write a paper-vs-measured markdown report to this file")
+	metrics := flag.String("metrics", "", "write the lab metrics registry as JSON to this file on exit (\"-\" for stderr)")
 	flag.Parse()
 
 	if *list {
@@ -87,5 +88,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "wrote", *md)
+	}
+
+	if *metrics != "" {
+		// The registry carries per-runner wall time and the day-cache
+		// request/generation/hit series the schedulers used to print ad hoc.
+		err := func() error {
+			if *metrics == "-" {
+				return lab.Metrics.WriteJSON(os.Stderr)
+			}
+			f, err := os.Create(*metrics)
+			if err != nil {
+				return err
+			}
+			if err := lab.Metrics.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -10,7 +10,12 @@
 //	GET /v1/dates                              served date range, JSON
 //	GET /v1/series/AS<asn>?cc=XX&from=&to=&step=   per-AS time series, JSON
 //	    (the footnote-2 per-ASN view of stats.labs.apnic.net)
+//	GET /metrics                               Prometheus text (?format=json for JSON)
 //	GET /healthz                               liveness probe
+//
+// Every route is wrapped in the obsv middleware, so request counts,
+// status classes, and latency histograms appear on /metrics alongside
+// the server's cache and render-error series.
 package apnicweb
 
 import (
@@ -18,15 +23,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/apnic"
 	"repro/internal/dates"
+	"repro/internal/obsv"
 	"repro/internal/syncx"
 )
 
@@ -42,10 +50,21 @@ type Server struct {
 	first dates.Date
 	last  dates.Date
 
-	reports syncx.Cache[dates.Date, *apnic.Report] // generated reports per day
-	csv     syncx.Cache[dates.Date, csvDay]        // rendered CSV per day
+	// Log, when non-nil, receives structured request logs and render
+	// failures. Set it before calling Handler.
+	Log *log.Logger
 
-	genCalls atomic.Int64 // report generations; equals distinct days served
+	metrics  *obsv.Registry
+	writeCSV func(*apnic.Report, io.Writer) error // seam for render-failure tests
+
+	reports syncx.Cache[dates.Date, *apnic.Report]       // generated reports per day
+	csv     syncx.Cache[dates.Date, csvDay]              // rendered CSV per day
+	index   syncx.Cache[dates.Date, map[seriesKey]int32] // (ASN, CC) → row position per day
+
+	genCalls   atomic.Int64 // report generations; equals distinct days served
+	reportReqs atomic.Int64 // report-cache lookups (hits = reqs − genCalls)
+
+	renderErrs *obsv.Counter
 }
 
 type csvDay struct {
@@ -53,21 +72,82 @@ type csvDay struct {
 	err  error
 }
 
+// seriesKey identifies one row of a day's report: the paper's
+// per-(country, AS) series identity.
+type seriesKey struct {
+	asn uint32
+	cc  string
+}
+
 // NewServer returns a server for [first, last].
 func NewServer(gen *apnic.Generator, first, last dates.Date) *Server {
-	return &Server{gen: gen, first: first, last: last}
+	s := &Server{
+		gen:      gen,
+		first:    first,
+		last:     last,
+		metrics:  obsv.NewRegistry(),
+		writeCSV: (*apnic.Report).WriteCSV,
+	}
+	s.renderErrs = s.metrics.Counter("apnicweb_render_errors_total")
+	// The cache counters live as atomics on the hot path and are
+	// surfaced as gauges at scrape time, so serving cost stays flat.
+	s.metrics.GaugeFunc("apnicweb_gen_calls", func() float64 { return float64(s.genCalls.Load()) })
+	s.metrics.GaugeFunc("apnicweb_report_cache_misses", func() float64 { return float64(s.genCalls.Load()) })
+	s.metrics.GaugeFunc("apnicweb_report_cache_hits", func() float64 {
+		return float64(s.reportReqs.Load() - s.genCalls.Load())
+	})
+	s.metrics.GaugeFunc("apnicweb_report_cache_days", func() float64 { return float64(s.reports.Len()) })
+	s.metrics.GaugeFunc("apnicweb_csv_cache_days", func() float64 { return float64(s.csv.Len()) })
+	return s
 }
+
+// Metrics exposes the server's registry so embedding binaries can add
+// their own series and dump a snapshot on exit.
+func (s *Server) Metrics() *obsv.Registry { return s.metrics }
 
 // report returns the (cached) generated report for a day, generating it
 // at most once even when many requests race on a cold day.
 func (s *Server) report(d dates.Date) *apnic.Report {
+	s.reportReqs.Add(1)
 	return s.reports.Get(d, func() *apnic.Report {
 		s.genCalls.Add(1)
 		return s.gen.Generate(d)
 	})
 }
 
-// Handler returns the HTTP handler.
+// rowIndex returns the day's (ASN, CC) → row-position map, built once
+// per day. Series requests used to scan all of a day's rows per lookup
+// (O(rows) each, tens of thousands of comparisons); the index makes
+// every lookup after the first O(1).
+func (s *Server) rowIndex(d dates.Date) map[seriesKey]int32 {
+	return s.index.Get(d, func() map[seriesKey]int32 {
+		rep := s.report(d)
+		m := make(map[seriesKey]int32, len(rep.Rows))
+		for i, row := range rep.Rows {
+			m[seriesKey{row.ASN, row.CC}] = int32(i)
+		}
+		return m
+	})
+}
+
+// routeLabel collapses request paths onto their route patterns so the
+// per-route metric series stay bounded no matter what clients request.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case strings.HasPrefix(p, "/v1/reports/"):
+		return "/v1/reports/:date"
+	case strings.HasPrefix(p, "/v1/series/"):
+		return "/v1/series/:asn"
+	case p == "/v1/dates", p == "/healthz", p == "/metrics":
+		return p
+	default:
+		return "other"
+	}
+}
+
+// Handler returns the HTTP handler, instrumented with per-route metrics
+// and (when s.Log is set) request logging.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -77,7 +157,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/dates", s.handleDates)
 	mux.HandleFunc("GET /v1/reports/", s.handleReport)
 	mux.HandleFunc("GET /v1/series/", s.handleSeries)
-	return mux
+	mux.Handle("GET /metrics", s.metrics.Handler())
+	mw := &obsv.HTTPMetrics{Registry: s.metrics, Log: s.Log, Route: routeLabel}
+	return mw.Wrap(mux)
 }
 
 // SeriesPoint is one day of the per-AS series response.
@@ -126,6 +208,12 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if from.After(to) {
+		// This used to fall through and return a silently empty series,
+		// indistinguishable from "AS not present" — reject it instead.
+		http.Error(w, "from is after to", http.StatusBadRequest)
+		return
+	}
 	step := 1
 	if v := q.Get("step"); v != "" {
 		if step, err = strconv.Atoi(v); err != nil || step < 1 {
@@ -139,6 +227,10 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	if to.After(s.last) {
 		to = s.last
 	}
+	if from.After(to) { // requested window entirely outside the served range
+		http.Error(w, "range does not overlap the served dates", http.StatusBadRequest)
+		return
+	}
 	const maxPoints = 120
 	if span := to.Sub(from)/step + 1; span > maxPoints {
 		http.Error(w, fmt.Sprintf("too many points (max %d); raise step or narrow the range", maxPoints), http.StatusBadRequest)
@@ -146,15 +238,13 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := SeriesResponse{ASN: uint32(asn64), Country: cc}
+	key := seriesKey{resp.ASN, cc}
 	for _, d := range dates.Range(from, to, step) {
-		rep := s.report(d)
-		for _, row := range rep.Rows {
-			if row.ASN == resp.ASN && row.CC == cc {
-				resp.Points = append(resp.Points, SeriesPoint{
-					Date: d.String(), Users: row.Users, Samples: row.Samples,
-				})
-				break
-			}
+		if i, ok := s.rowIndex(d)[key]; ok {
+			row := s.report(d).Rows[i]
+			resp.Points = append(resp.Points, SeriesPoint{
+				Date: d.String(), Users: row.Users, Samples: row.Samples,
+			})
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -189,7 +279,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := s.render(d)
 	if err != nil {
-		http.Error(w, "report generation failed", http.StatusInternalServerError)
+		// The old handler swallowed err here, leaving operators with an
+		// opaque 500 and no counter to alert on.
+		s.renderErrs.Inc()
+		if s.Log != nil {
+			s.Log.Printf("render error date=%s err=%q", d, err)
+		}
+		http.Error(w, "report generation failed: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
@@ -200,9 +296,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 func (s *Server) render(d dates.Date) ([]byte, error) {
 	day := s.csv.Get(d, func() csvDay {
 		var b strings.Builder
-		if err := s.report(d).WriteCSV(&b); err != nil {
+		if err := s.writeCSV(s.report(d), &b); err != nil {
 			// Rendering is deterministic in (seed, date), so a failure
-			// would recur on every attempt; caching it is sound.
+			// would recur on every attempt; caching it is sound — and
+			// repeat requests must see the same error, not a flap.
 			return csvDay{err: err}
 		}
 		return csvDay{body: []byte(b.String())}
@@ -210,19 +307,66 @@ func (s *Server) render(d dates.Date) ([]byte, error) {
 	return day.body, day.err
 }
 
-// Client fetches reports from a server.
+// errBodyLimit caps how much of a non-200 response body the client reads
+// into an error message; errDrainLimit caps how much more it will drain
+// to keep the connection reusable before giving up and closing it.
+const (
+	errBodyLimit  = 1 << 10
+	errDrainLimit = 64 << 10
+)
+
+// Client fetches reports from a server. It retries transient failures
+// (connection errors, 429, 5xx) with exponential backoff through
+// obsv.RetryTransport; see Retry.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
-	// HTTPClient defaults to a client with a 30s timeout.
+	// HTTPClient defaults to a client with a 30s timeout. Its transport
+	// is wrapped with the retrying transport on first use.
 	HTTPClient *http.Client
+	// Retry overrides the default retry policy (4 attempts, 100ms base
+	// backoff). Set before first use.
+	Retry obsv.RetryPolicy
+	// Metrics, when non-nil, receives per-attempt client metrics
+	// (httpclient_attempts_total, httpclient_retries_total, ...).
+	Metrics *obsv.Registry
+	// Log, when non-nil, gets one line per retry with delay and cause.
+	Log *log.Logger
+
+	once sync.Once
+	c    *http.Client
 }
 
 func (c *Client) http() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
+	c.once.Do(func() {
+		base := c.HTTPClient
+		if base == nil {
+			base = &http.Client{Timeout: 30 * time.Second}
+		}
+		wrapped := *base // shallow copy so we never mutate the caller's client
+		wrapped.Transport = &obsv.RetryTransport{
+			Base:    base.Transport,
+			Policy:  c.Retry,
+			Metrics: c.Metrics,
+			Log:     c.Log,
+		}
+		c.c = &wrapped
+	})
+	return c.c
+}
+
+// errorf reads a bounded snippet of a non-200 response body for the
+// error message, then drains (bounded) so the connection can be reused.
+// The old client closed the body unread, which killed keep-alive on
+// every error response.
+func errorf(u string, resp *http.Response) error {
+	snippet, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
+	io.Copy(io.Discard, io.LimitReader(resp.Body, errDrainLimit))
+	msg := strings.TrimSpace(string(snippet))
+	if msg == "" {
+		return fmt.Errorf("apnicweb: GET %s: %s", u, resp.Status)
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	return fmt.Errorf("apnicweb: GET %s: %s: %s", u, resp.Status, msg)
 }
 
 // Dates fetches the served date range.
@@ -241,12 +385,15 @@ func (c *Client) Dates(ctx context.Context) (first, last dates.Date, err error) 
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return first, last, fmt.Errorf("apnicweb: GET %s: %s", u, resp.Status)
+		return first, last, errorf(u, resp)
 	}
 	var dr DateRange
 	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
 		return first, last, fmt.Errorf("apnicweb: decoding dates: %w", err)
 	}
+	// The decoder stops at the closing brace; drain the trailing newline
+	// so the connection goes back to the keep-alive pool.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, errDrainLimit))
 	if first, err = dates.Parse(dr.First); err != nil {
 		return first, last, err
 	}
@@ -270,7 +417,7 @@ func (c *Client) Report(ctx context.Context, d dates.Date) (*apnic.Report, error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("apnicweb: GET %s: %s", u, resp.Status)
+		return nil, errorf(u, resp)
 	}
 	rep, err := apnic.ReadCSV(resp.Body)
 	if err != nil {

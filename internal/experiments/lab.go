@@ -9,7 +9,6 @@ package experiments
 import (
 	"sort"
 	"strings"
-	"sync/atomic"
 
 	"repro/internal/apnic"
 	"repro/internal/broadband"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/itu"
 	"repro/internal/ixp"
 	"repro/internal/mlab"
+	"repro/internal/obsv"
 	"repro/internal/rir"
 	"repro/internal/syncx"
 	"repro/internal/world"
@@ -63,18 +63,26 @@ type Lab struct {
 	IXP       *ixp.Generator
 	RIR       *rir.Generator
 
+	// Metrics is the lab's observability registry. The day caches count
+	// their requests and generations here (the ad-hoc atomic counters
+	// this replaces reported generations only), RunAll records per-runner
+	// wall time into it, and cmd/experiments can dump it on exit.
+	Metrics *obsv.Registry
+
 	reports syncx.Cache[dates.Date, *apnic.Report]
 	snaps   syncx.Cache[dates.Date, *cdn.Snapshot]
 
-	reportGens atomic.Int64 // APNIC day generations (one per distinct day)
-	snapGens   atomic.Int64 // CDN day generations (one per distinct day)
+	reportReqs *obsv.Counter // APNIC day-cache lookups
+	reportGens *obsv.Counter // APNIC day generations (one per distinct day)
+	snapReqs   *obsv.Counter // CDN day-cache lookups
+	snapGens   *obsv.Counter // CDN day generations (one per distinct day)
 }
 
 // NewLab builds a world and all generators from one seed.
 func NewLab(seed uint64) *Lab {
 	w := world.MustBuild(world.Config{Seed: seed})
 	ituEst := itu.New(w, seed)
-	return &Lab{
+	l := &Lab{
 		Seed:      seed,
 		W:         w,
 		ITU:       ituEst,
@@ -84,14 +92,29 @@ func NewLab(seed uint64) *Lab {
 		MLab:      mlab.New(w, seed),
 		IXP:       ixp.New(w, seed),
 		RIR:       rir.New(w, seed),
+		Metrics:   obsv.NewRegistry(),
 	}
+	l.reportReqs = l.Metrics.Counter("lab_apnic_report_requests_total")
+	l.reportGens = l.Metrics.Counter("lab_apnic_report_generations_total")
+	l.snapReqs = l.Metrics.Counter("lab_cdn_snapshot_requests_total")
+	l.snapGens = l.Metrics.Counter("lab_cdn_snapshot_generations_total")
+	l.Metrics.GaugeFunc("lab_apnic_report_cache_days", func() float64 { return float64(l.reports.Len()) })
+	l.Metrics.GaugeFunc("lab_cdn_snapshot_cache_days", func() float64 { return float64(l.snaps.Len()) })
+	l.Metrics.GaugeFunc("lab_apnic_report_cache_hits", func() float64 {
+		return float64(l.reportReqs.Value() - l.reportGens.Value())
+	})
+	l.Metrics.GaugeFunc("lab_cdn_snapshot_cache_hits", func() float64 {
+		return float64(l.snapReqs.Value() - l.snapGens.Value())
+	})
+	return l
 }
 
 // Report returns the cached APNIC report for a day, generating it at most
 // once even under concurrent access.
 func (l *Lab) Report(d dates.Date) *apnic.Report {
+	l.reportReqs.Inc()
 	return l.reports.Get(d, func() *apnic.Report {
-		l.reportGens.Add(1)
+		l.reportGens.Inc()
 		return l.APNIC.Generate(d)
 	})
 }
@@ -99,8 +122,9 @@ func (l *Lab) Report(d dates.Date) *apnic.Report {
 // Snapshot returns the cached CDN snapshot for a day, generating it at
 // most once even under concurrent access.
 func (l *Lab) Snapshot(d dates.Date) *cdn.Snapshot {
+	l.snapReqs.Inc()
 	return l.snaps.Get(d, func() *cdn.Snapshot {
-		l.snapGens.Add(1)
+		l.snapGens.Inc()
 		return l.CDN.Generate(d)
 	})
 }
@@ -109,7 +133,7 @@ func (l *Lab) Snapshot(d dates.Date) *cdn.Snapshot {
 // Under the singleflight contract each counter equals the number of
 // distinct days requested, no matter how many goroutines asked.
 func (l *Lab) CacheStats() (apnicDays, cdnDays int64) {
-	return l.reportGens.Load(), l.snapGens.Load()
+	return l.reportGens.Value(), l.snapGens.Value()
 }
 
 // Result is one regenerated table or figure.

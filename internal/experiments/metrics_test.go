@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLabMetrics checks the day caches report requests, generations, and
+// hit gauges through the lab registry, and that RunAll records per-runner
+// wall time there.
+func TestLabMetrics(t *testing.T) {
+	l := NewLab(7)
+	d := PrimaryCDNDay
+	l.Report(d)
+	l.Report(d)
+	l.Snapshot(d)
+
+	if got := l.Metrics.Counter("lab_apnic_report_requests_total").Value(); got != 2 {
+		t.Errorf("report requests = %d, want 2", got)
+	}
+	if got := l.Metrics.Counter("lab_apnic_report_generations_total").Value(); got != 1 {
+		t.Errorf("report generations = %d, want 1", got)
+	}
+	if a, c := l.CacheStats(); a != 1 || c != 1 {
+		t.Errorf("CacheStats = %d, %d, want 1, 1", a, c)
+	}
+
+	recs := RunAll(l, []Runner{{
+		Name: "Synthetic",
+		Desc: "sleeps a tick",
+		Run: func(*Lab) *Result {
+			time.Sleep(2 * time.Millisecond)
+			return &Result{ID: "Synthetic"}
+		},
+	}}, 1, nil)
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if got := l.Metrics.Gauge(`experiment_runner_seconds{runner="Synthetic"}`).Value(); got < 0.002 {
+		t.Errorf("runner wall-time gauge = %v, want >= 2ms", got)
+	}
+
+	var b strings.Builder
+	if err := l.Metrics.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"lab_apnic_report_cache_hits": 1`,
+		`"lab_apnic_report_cache_days": 1`,
+		`"experiment_runner_seconds{runner=\"Synthetic\"}"`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, b.String())
+		}
+	}
+}

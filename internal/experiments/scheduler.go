@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/obsv"
 )
 
 // RunRecord couples one runner's Result with its scheduling accounting.
@@ -49,7 +51,14 @@ func RunAll(lab *Lab, runners []Runner, parallelism int, emit func(RunRecord)) [
 			for i := range jobs {
 				t0 := time.Now()
 				res := runners[i].Run(lab)
-				recs[i] = RunRecord{Runner: runners[i], Result: res, Elapsed: time.Since(t0)}
+				elapsed := time.Since(t0)
+				recs[i] = RunRecord{Runner: runners[i], Result: res, Elapsed: elapsed}
+				if lab != nil && lab.Metrics != nil {
+					// Wall time is scheduling noise, not science, so it
+					// lives in the metrics registry (one gauge per
+					// runner) rather than on the deterministic Result.
+					lab.Metrics.Gauge(obsv.Label("experiment_runner_seconds", "runner", runners[i].Name)).Set(elapsed.Seconds())
+				}
 				close(done[i])
 			}
 		}()

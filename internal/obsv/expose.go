@@ -1,0 +1,210 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler returns the /metrics endpoint. The default response is the
+// Prometheus text exposition format (what `curl /metrics` and a scraper
+// both want); `?format=json` returns the same series as one flat,
+// expvar-compatible JSON object whose keys are the series names.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// snapshot copies the series maps under the read lock so exposition can
+// format without holding it. Metric values are still read live (they are
+// atomics), which is exactly what a scrape wants.
+func (r *Registry) snapshot() (cs map[string]*Counter, gs map[string]*Gauge, fns map[string]func() float64, hs map[string]*Histogram) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cs = make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		cs[k] = v
+	}
+	gs = make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gs[k] = v
+	}
+	fns = make(map[string]func() float64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		fns[k] = v
+	}
+	hs = make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hs[k] = v
+	}
+	return cs, gs, fns, hs
+}
+
+// WriteJSON writes every series as one flat JSON object, keys sorted, in
+// the spirit of expvar: counters and gauges map to numbers, histograms to
+// {"count":N,"sum":S,"buckets":{"<le>":<cumulative>,...}}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	cs, gs, fns, hs := r.snapshot()
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{")
+	first := true
+	field := func(name string) {
+		if !first {
+			bw.WriteString(",")
+		}
+		first = false
+		bw.WriteString("\n  ")
+		bw.WriteString(strconv.Quote(name))
+		bw.WriteString(": ")
+	}
+	for _, name := range sortedKeys(cs) {
+		field(name)
+		fmt.Fprintf(bw, "%d", cs[name].Value())
+	}
+	for _, name := range sortedKeys(gs) {
+		field(name)
+		bw.WriteString(jsonFloat(gs[name].Value()))
+	}
+	for _, name := range sortedKeys(fns) {
+		field(name)
+		bw.WriteString(jsonFloat(fns[name]()))
+	}
+	for _, name := range sortedKeys(hs) {
+		field(name)
+		h := hs[name]
+		bounds, cum := h.Buckets()
+		fmt.Fprintf(bw, "{\"count\": %d, \"sum\": %s, \"buckets\": {", h.Count(), jsonFloat(h.Sum()))
+		for i := range bounds {
+			if i > 0 {
+				bw.WriteString(", ")
+			}
+			fmt.Fprintf(bw, "%s: %d", strconv.Quote(leLabel(bounds[i])), cum[i])
+		}
+		bw.WriteString("}}")
+	}
+	bw.WriteString("\n}\n")
+	return bw.Flush()
+}
+
+// WritePrometheus writes every series in the Prometheus text exposition
+// format, with # TYPE lines and deterministic (sorted) series order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	cs, gs, fns, hs := r.snapshot()
+	bw := bufio.NewWriter(w)
+	typed := map[string]bool{}
+	writeType := func(series, kind string) {
+		base, _ := splitSeries(series)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(bw, "# TYPE %s %s\n", base, kind)
+		}
+	}
+	for _, name := range sortedKeys(cs) {
+		writeType(name, "counter")
+		fmt.Fprintf(bw, "%s %d\n", name, cs[name].Value())
+	}
+	for _, name := range sortedKeys(gs) {
+		writeType(name, "gauge")
+		fmt.Fprintf(bw, "%s %s\n", name, promFloat(gs[name].Value()))
+	}
+	for _, name := range sortedKeys(fns) {
+		writeType(name, "gauge")
+		fmt.Fprintf(bw, "%s %s\n", name, promFloat(fns[name]()))
+	}
+	for _, name := range sortedKeys(hs) {
+		writeType(name, "histogram")
+		h := hs[name]
+		base, labels := splitSeries(name)
+		bounds, cum := h.Buckets()
+		for i := range bounds {
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", base, withLabel(labels, "le", leLabel(bounds[i])), cum[i])
+		}
+		fmt.Fprintf(bw, "%s_sum%s %s\n", base, braced(labels), promFloat(h.Sum()))
+		fmt.Fprintf(bw, "%s_count%s %d\n", base, braced(labels), h.Count())
+	}
+	return bw.Flush()
+}
+
+// splitSeries splits `name{k="v",...}` into the bare metric name and the
+// label body (without braces); labels is "" when the series is unlabeled.
+func splitSeries(series string) (base, labels string) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return series, ""
+	}
+	return series[:i], strings.TrimSuffix(series[i+1:], "}")
+}
+
+// braced re-wraps a label body, returning "" for no labels.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// withLabel appends one more label to a (possibly empty) label body and
+// wraps it in braces.
+func withLabel(labels, key, val string) string {
+	pair := key + "=" + strconv.Quote(val)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return "{" + labels + "," + pair + "}"
+}
+
+// leLabel formats a bucket bound the way Prometheus expects.
+func leLabel(bound float64) string {
+	if math.IsInf(bound, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(bound, 'g', -1, 64)
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// jsonFloat renders a float as JSON, mapping non-finite values (illegal
+// in JSON) to null.
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Label builds a series name from a base metric name and alternating
+// key, value label pairs: Label("x_total", "route", "/v1/dates") is
+// `x_total{route="/v1/dates"}`. Panics on an odd number of pairs — label
+// sets are compile-time shapes, not data.
+func Label(base string, kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("obsv.Label: odd number of key/value arguments")
+	}
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(kv[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,299 @@
+package obsv
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSleeper records requested delays instead of sleeping.
+type fakeSleeper struct {
+	delays []time.Duration
+}
+
+func (f *fakeSleeper) sleep(ctx context.Context, d time.Duration) bool {
+	f.delays = append(f.delays, d)
+	return ctx.Err() == nil
+}
+
+// flakyHandler fails with the given status for failures requests, then
+// succeeds.
+func flakyHandler(failures int, status int, retryAfter string) (http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(failures) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, "unavailable", status)
+			return
+		}
+		io.WriteString(w, "payload")
+	}), &calls
+}
+
+// TestRetryBackoffSchedule pins the exponential schedule with a fake
+// clock and jitter pinned to its maximum: 100ms, 200ms, 400ms.
+func TestRetryBackoffSchedule(t *testing.T) {
+	h, calls := flakyHandler(3, http.StatusServiceUnavailable, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	reg := NewRegistry()
+	var logBuf bytes.Buffer
+	sl := &fakeSleeper{}
+	rt := &RetryTransport{
+		Policy:  RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second},
+		Metrics: reg,
+		Log:     log.New(&logBuf, "", 0),
+		sleep:   sl.sleep,
+		randF:   func() float64 { return 1 }, // full jitter: delay == base * 2^(n-1)
+	}
+	client := &http.Client{Transport: rt}
+
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "payload" {
+		t.Fatalf("final response = %d %q", resp.StatusCode, body)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d attempts, want 4", got)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(sl.delays) != len(want) {
+		t.Fatalf("slept %v, want %v", sl.delays, want)
+	}
+	for i := range want {
+		if sl.delays[i] != want[i] {
+			t.Errorf("delay[%d] = %v, want %v", i, sl.delays[i], want[i])
+		}
+	}
+	if got := reg.Counter("httpclient_attempts_total").Value(); got != 4 {
+		t.Errorf("attempts metric = %d, want 4", got)
+	}
+	if got := reg.Counter(`httpclient_retries_total{reason="status"}`).Value(); got != 3 {
+		t.Errorf("retries metric = %d, want 3", got)
+	}
+	if !strings.Contains(logBuf.String(), "httpclient retry attempt=2/4") {
+		t.Errorf("retry log missing attempt line:\n%s", logBuf.String())
+	}
+}
+
+// TestRetryHalfJitter checks the other end of the jitter range: with
+// randF pinned to 0 every delay is half the exponential base.
+func TestRetryHalfJitter(t *testing.T) {
+	h, _ := flakyHandler(2, http.StatusBadGateway, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	sl := &fakeSleeper{}
+	rt := &RetryTransport{
+		Policy: RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond},
+		sleep:  sl.sleep,
+		randF:  func() float64 { return 0 },
+	}
+	resp, err := (&http.Client{Transport: rt}).Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	DrainClose(resp.Body, 1<<20)
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond}
+	if len(sl.delays) != 2 || sl.delays[0] != want[0] || sl.delays[1] != want[1] {
+		t.Fatalf("slept %v, want %v", sl.delays, want)
+	}
+}
+
+// TestRetryRespectsRetryAfter: a 429 carrying Retry-After: 3 must wait
+// the server-mandated 3s, not the 100ms backoff.
+func TestRetryRespectsRetryAfter(t *testing.T) {
+	h, calls := flakyHandler(1, http.StatusTooManyRequests, "3")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	sl := &fakeSleeper{}
+	rt := &RetryTransport{
+		Policy: RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond},
+		sleep:  sl.sleep,
+		randF:  func() float64 { return 1 },
+	}
+	resp, err := (&http.Client{Transport: rt}).Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	DrainClose(resp.Body, 1<<20)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d attempts, want 2", calls.Load())
+	}
+	if len(sl.delays) != 1 || sl.delays[0] != 3*time.Second {
+		t.Fatalf("slept %v, want [3s]", sl.delays)
+	}
+}
+
+// TestRetryExhausted: a permanently failing server burns all attempts and
+// surfaces the last response plus the exhausted counter.
+func TestRetryExhausted(t *testing.T) {
+	h, calls := flakyHandler(1000, http.StatusInternalServerError, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	reg := NewRegistry()
+	rt := &RetryTransport{
+		Policy:  RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+		Metrics: reg,
+		sleep:   (&fakeSleeper{}).sleep,
+		randF:   func() float64 { return 0 },
+	}
+	resp, err := (&http.Client{Transport: rt}).Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	DrainClose(resp.Body, 1<<20)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d attempts, want 3", calls.Load())
+	}
+	if got := reg.Counter("httpclient_retry_exhausted_total").Value(); got != 1 {
+		t.Errorf("exhausted metric = %d, want 1", got)
+	}
+}
+
+// TestRetryBudgetDries: with a budget of 1 token, the first failing
+// request gets its one retry and the next failing request fails fast.
+func TestRetryBudgetDries(t *testing.T) {
+	h, calls := flakyHandler(1000, http.StatusServiceUnavailable, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	reg := NewRegistry()
+	rt := &RetryTransport{
+		Policy:  RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, Budget: 1},
+		Metrics: reg,
+		sleep:   (&fakeSleeper{}).sleep,
+		randF:   func() float64 { return 0 },
+	}
+	client := &http.Client{Transport: rt}
+	for i := 0; i < 2; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		DrainClose(resp.Body, 1<<20)
+	}
+	// Request 1: attempt + retry (spends the only token). Request 2:
+	// attempt, budget dry, no retry. 3 server calls total.
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	if got := reg.Counter("httpclient_retry_budget_dry_total").Value(); got != 1 {
+		t.Errorf("budget-dry metric = %d, want 1", got)
+	}
+}
+
+// TestRetryTransportError: connection-refused errors are retried too; a
+// backend that comes back mid-sequence recovers the request.
+func TestRetryTransportError(t *testing.T) {
+	h, _ := flakyHandler(0, 0, "")
+	ts := httptest.NewServer(h)
+	addr := ts.URL
+	ts.Close() // kill the backend: first attempts get connection refused
+
+	var attempts atomic.Int64
+	base := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		if attempts.Add(1) <= 2 {
+			return nil, errors.New("dial tcp: connection refused")
+		}
+		rec := httptest.NewRecorder()
+		io.WriteString(rec, "revived")
+		return rec.Result(), nil
+	})
+	reg := NewRegistry()
+	sl := &fakeSleeper{}
+	rt := &RetryTransport{
+		Base:    base,
+		Policy:  RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond},
+		Metrics: reg,
+		sleep:   sl.sleep,
+		randF:   func() float64 { return 0 },
+	}
+	req, _ := http.NewRequest("GET", addr, nil)
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		t.Fatalf("RoundTrip after revival: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "revived" {
+		t.Fatalf("body = %q", body)
+	}
+	if got := reg.Counter(`httpclient_retries_total{reason="error"}`).Value(); got != 2 {
+		t.Errorf("error-retries metric = %d, want 2", got)
+	}
+	if len(sl.delays) != 2 {
+		t.Errorf("slept %v, want two backoffs", sl.delays)
+	}
+}
+
+// TestRetryCancelledContext: a cancelled request must not retry.
+func TestRetryCancelledContext(t *testing.T) {
+	var attempts atomic.Int64
+	base := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		attempts.Add(1)
+		return nil, errors.New("boom")
+	})
+	rt := &RetryTransport{
+		Base:   base,
+		Policy: RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond},
+		sleep:  (&fakeSleeper{}).sleep,
+		randF:  func() float64 { return 0 },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://example.invalid/", nil)
+	if _, err := rt.RoundTrip(req); err == nil {
+		t.Fatal("want error from cancelled context")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("cancelled request attempted %d times, want 1", got)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter("2"); d != 2*time.Second {
+		t.Errorf("seconds form = %v", d)
+	}
+	if d := parseRetryAfter(""); d != 0 {
+		t.Errorf("empty = %v", d)
+	}
+	if d := parseRetryAfter("garbage"); d != 0 {
+		t.Errorf("garbage = %v", d)
+	}
+	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d < 8*time.Second || d > 10*time.Second {
+		t.Errorf("http-date form = %v", d)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(past); d != 0 {
+		t.Errorf("past http-date = %v, want 0", d)
+	}
+}
