@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	apnicserve -addr :8080 -seed 42 -from 2023-01-01 -to 2024-12-31 [-log] [-dump-metrics]
+//	apnicserve -addr :8080 -seed 42 -from 2023-01-01 -to 2024-12-31 [-cache-days 365] [-log] [-dump-metrics]
 //
 // Then:
 //
@@ -43,6 +43,8 @@ func main() {
 	to := flag.String("to", "2024-12-31", "last served date")
 	logReqs := flag.Bool("log", false, "log every request (structured, to stderr)")
 	dumpMetrics := flag.Bool("dump-metrics", false, "print the metrics registry as JSON on shutdown")
+	cacheDays := flag.Int("cache-days", apnicweb.DefaultCacheDays,
+		"max days held in each in-memory cache (report, CSV, row index); LRU eviction beyond this")
 	flag.Parse()
 
 	first, err := dates.Parse(*from)
@@ -59,7 +61,7 @@ func main() {
 	log.Printf("building world (seed %d)...", *seed)
 	w := world.MustBuild(world.Config{Seed: *seed})
 	gen := apnic.New(w, itu.New(w, *seed), *seed)
-	srv := apnicweb.NewServer(gen, first, last)
+	srv := apnicweb.NewServerCached(gen, first, last, *cacheDays)
 	if *logReqs {
 		srv.Log = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
 	}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchsweep [-seed N] [-parallel 1,0] [-out BENCH_sweep.json] [-max-allocs N]
+//	benchsweep [-seed N] [-parallel 1,0] [-out BENCH_sweep.json] [-max-allocs N] [-max-regress-pct P] [-baseline FILE]
 //
 // Parallelism 0 means GOMAXPROCS. Allocation counts are runtime.MemStats
 // deltas around the sweep itself — lab construction (world build) is
@@ -15,6 +15,14 @@
 // level's sweep allocates more than the budget, which is how CI gates
 // allocation regressions (the budget is set ~20% above the expected
 // count).
+//
+// The report carries a trajectory: before overwriting -out, the previous
+// report's headline sweep (wall time, mallocs, per-runner timings) is
+// appended to a rolling history (most recent last, capped at 50 runs), so
+// the artifact records how per-runner cost moved across commits. With
+// -max-regress-pct > 0 the tool exits 1 when the first listed level's
+// wall time exceeds the baseline's same-position sweep by more than that
+// percentage — the CI soft gate against wall-clock regressions.
 package main
 
 import (
@@ -56,13 +64,34 @@ type Report struct {
 	GOMAXPROCS    int     `json:"gomaxprocs"`
 	Seed          uint64  `json:"seed"`
 	Sweeps        []Sweep `json:"sweeps"`
+
+	// History holds prior runs' headline sweeps, oldest first, capped at
+	// historyCap entries. Each new run folds the previous report's first
+	// sweep in before overwriting the file.
+	History []HistoryEntry `json:"history,omitempty"`
 }
+
+// HistoryEntry is one prior run's headline sweep, kept compact so the
+// trajectory stays readable in diffs.
+type HistoryEntry struct {
+	GeneratedUnix int64          `json:"generated_unix"`
+	Parallelism   int            `json:"parallelism"`
+	WallNS        int64          `json:"wall_ns"`
+	Mallocs       int64          `json:"mallocs"`
+	Runners       []RunnerTiming `json:"runners,omitempty"`
+}
+
+// historyCap bounds the rolling trajectory carried inside the report.
+const historyCap = 50
 
 func main() {
 	seed := flag.Uint64("seed", 42, "world seed")
 	parallel := flag.String("parallel", "1,0", "comma-separated parallelism levels (0 = GOMAXPROCS)")
 	out := flag.String("out", "BENCH_sweep.json", "output path")
 	maxAllocs := flag.Int64("max-allocs", 0, "fail if the first level's sweep allocates more than this (0 = no gate)")
+	maxRegress := flag.Float64("max-regress-pct", 0,
+		"fail if the first level's wall time regresses more than this percent vs the baseline (0 = no gate)")
+	baseline := flag.String("baseline", "", "baseline report for the regression gate and history (default: the -out path before overwrite)")
 	flag.Parse()
 
 	var levels []int
@@ -75,12 +104,36 @@ func main() {
 		levels = append(levels, p)
 	}
 
+	// Load the baseline before the measured run so the gate and history
+	// survive -out pointing at the file about to be overwritten.
+	basePath := *baseline
+	if basePath == "" {
+		basePath = *out
+	}
+	base := loadReport(basePath)
+
 	rep := Report{
 		GeneratedUnix: time.Now().Unix(),
 		GoVersion:     runtime.Version(),
 		NumCPU:        runtime.NumCPU(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Seed:          *seed,
+	}
+	if base != nil {
+		rep.History = append(rep.History, base.History...)
+		if len(base.Sweeps) > 0 {
+			s := base.Sweeps[0]
+			rep.History = append(rep.History, HistoryEntry{
+				GeneratedUnix: base.GeneratedUnix,
+				Parallelism:   s.Parallelism,
+				WallNS:        s.WallNS,
+				Mallocs:       s.Mallocs,
+				Runners:       s.Runners,
+			})
+		}
+		if n := len(rep.History); n > historyCap {
+			rep.History = rep.History[n-historyCap:]
+		}
 	}
 
 	for _, p := range levels {
@@ -108,6 +161,28 @@ func main() {
 			rep.Sweeps[0].Mallocs, *maxAllocs, rep.Sweeps[0].Parallelism)
 		os.Exit(1)
 	}
+	if *maxRegress > 0 && base != nil && len(base.Sweeps) > 0 && base.Sweeps[0].WallNS > 0 {
+		budget := float64(base.Sweeps[0].WallNS) * (1 + *maxRegress/100)
+		if got := rep.Sweeps[0].WallNS; float64(got) > budget {
+			fmt.Fprintf(os.Stderr, "wall-time regression at parallelism %d: %s vs baseline %s (+%.0f%% budget)\n",
+				rep.Sweeps[0].Parallelism, time.Duration(got), time.Duration(base.Sweeps[0].WallNS), *maxRegress)
+			os.Exit(1)
+		}
+	}
+}
+
+// loadReport reads a prior BENCH_sweep.json, or nil when the file is
+// missing or unparseable (first run, or a format change).
+func loadReport(path string) *Report {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil
+	}
+	return &r
 }
 
 // measure runs one full sweep on a fresh lab and returns its accounting.

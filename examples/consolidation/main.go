@@ -33,20 +33,19 @@ func main() {
 		counts := map[int]int{}
 		for _, y := range years {
 			// Mid-year snapshot via the best-day rule over Q2.
-			ratios := map[string]float64{}
+			ratios := map[dates.Date]float64{}
 			for off := 0; off < 60; off += 5 {
 				d := dates.New(y, 4, 1).AddDays(off)
 				s, u := lab.APNIC.CountryTotals(cc, d)
 				if s > 0 {
-					ratios[d.String()] = core.ElasticityRatio(u, float64(s))
+					ratios[d] = core.ElasticityRatio(u, float64(s))
 				}
 			}
-			day, ok := core.BestDay(ratios)
+			day, ok := core.BestDayDate(ratios)
 			if !ok {
 				continue
 			}
-			d, _ := dates.Parse(day)
-			shares := lab.APNIC.CountryOrgShares(cc, d)
+			shares := lab.APNIC.CountryOrgShares(cc, day)
 			counts[y] = core.OrgsToCover(shares, 0.95)
 		}
 		fmt.Printf("%-4s", cc)

@@ -39,20 +39,20 @@ func main() {
 	// 60 days before the target date and pick the one with the smallest
 	// users-per-sample ratio.
 	cc := "MG"
-	ratios := map[string]float64{}
+	ratios := map[dates.Date]float64{}
 	for off := 0; off < 60; off += 5 {
 		d := day.AddDays(-off)
 		s, u := lab.APNIC.CountryTotals(cc, d)
 		if s > 0 {
-			ratios[d.String()] = core.ElasticityRatio(u, float64(s))
+			ratios[d] = core.ElasticityRatio(u, float64(s))
 		}
 	}
-	best, ok := core.BestDay(ratios)
+	best, ok := core.BestDayDate(ratios)
 	if !ok {
 		fmt.Printf("\n%s: no day with usable data in the window\n", cc)
 		return
 	}
 	fmt.Printf("\nbest-day selection for %s: use %s instead of %s\n", cc, best, day)
-	fmt.Printf("  ratio on %s: %.1f users/sample\n", day, ratios[day.String()])
+	fmt.Printf("  ratio on %s: %.1f users/sample\n", day, ratios[day])
 	fmt.Printf("  ratio on %s: %.1f users/sample\n", best, ratios[best])
 }

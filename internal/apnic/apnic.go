@@ -24,11 +24,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dates"
 	"repro/internal/itu"
 	"repro/internal/orgs"
 	"repro/internal/rng"
+	"repro/internal/syncx"
 	"repro/internal/world"
 )
 
@@ -60,6 +62,40 @@ type Generator struct {
 	// asName caches the "<Org Name> (AS<n>)" display strings so report
 	// generation does not re-format one per row per day.
 	asName map[uint32]string
+
+	// Demand-driven memoization of the per-(country, day) scans. The
+	// stability analysis (Figure 8's eight curves and their 60-day
+	// best-day windows) and the 2024 elasticity sweep (Figure 7) hit the
+	// same (country, day) pairs thousands of times across runners; both
+	// scans are pure functions of (seed, country, day), so each pair is
+	// computed once and shared. Sharded singleflight keeps concurrent
+	// runners from serializing on one cache mutex. Configuration fields
+	// (SampleRate, MinSamples, Window) must be set before first use —
+	// memoized values are not invalidated.
+	totalsMemo *syncx.Sharded[ccDay, countryTotals]
+	sharesMemo *syncx.Sharded[ccDay, map[string]float64]
+
+	totalsScans atomic.Int64 // uncached CountryTotals scans (memo fills)
+	totalsReqs  atomic.Int64 // CountryTotals lookups
+	sharesScans atomic.Int64 // uncached CountryOrgShares scans (memo fills)
+	sharesReqs  atomic.Int64 // CountryOrgShares lookups
+}
+
+// ccDay keys the per-(country, day) memo caches.
+type ccDay struct {
+	cc  string
+	day int // dates.Date.DayNumber()
+}
+
+// countryTotals is the memoized CountryTotals result.
+type countryTotals struct {
+	samples int64
+	users   float64
+}
+
+// hashCCDay spreads (country, day) keys across memo shards.
+func hashCCDay(k ccDay) uint64 {
+	return rng.KeyString(k.cc) ^ (uint64(int64(k.day)) * 0x9e3779b97f4a7c15)
 }
 
 // Derivation channel keys for the generator's noise streams. Hot loops
@@ -80,6 +116,8 @@ func New(w *world.World, ituEst *itu.Estimator, seed uint64) *Generator {
 		Window:     60,
 		root:       rng.New(seed).Split("apnic"),
 		asName:     map[uint32]string{},
+		totalsMemo: syncx.NewSharded[ccDay, countryTotals](16, hashCCDay),
+		sharesMemo: syncx.NewSharded[ccDay, map[string]float64](16, hashCCDay),
 	}
 	for _, o := range w.Registry.All() {
 		for _, asn := range o.ASNs {
@@ -324,8 +362,22 @@ func (r *Report) TopOrgs(reg *orgs.Registry, country string) []string {
 // estimated users on a date without generating the full world report.
 // The best-day selection rule (§5.1.2) scans 60 days per country, and this
 // keeps that scan cheap. Totals include only ASes above the inclusion
-// floor, like the published dataset.
+// floor, like the published dataset. Results are memoized per
+// (country, day): the scan is a pure function of (seed, country, day), so
+// repeat lookups — Figure 7's weekly 2024 sweep, Figure 8's best-day
+// windows, the artifact checks — share one computation.
 func (g *Generator) CountryTotals(country string, d dates.Date) (samples int64, users float64) {
+	g.totalsReqs.Add(1)
+	t := g.totalsMemo.Get(ccDay{country, d.DayNumber()}, func() countryTotals {
+		g.totalsScans.Add(1)
+		s, u := g.countryTotalsScan(country, d)
+		return countryTotals{samples: s, users: u}
+	})
+	return t.samples, t.users
+}
+
+// countryTotalsScan is the uncached CountryTotals computation.
+func (g *Generator) countryTotalsScan(country string, d dates.Date) (samples int64, users float64) {
 	m := g.W.Market(country)
 	if m == nil {
 		return 0, 0
@@ -360,7 +412,21 @@ func (g *Generator) CountryTotals(country string, d dates.Date) (samples int64, 
 // a country equal the org's share of the country's included samples.
 // Orgs entirely below the inclusion floor are absent, like in the
 // published dataset.
+//
+// Results are memoized per (country, day) and the returned map is shared
+// between callers: treat it as read-only. Every call site in this
+// repository only reads (alignment, K-S, rendering); a caller that needs
+// to mutate must copy first.
 func (g *Generator) CountryOrgShares(country string, d dates.Date) map[string]float64 {
+	g.sharesReqs.Add(1)
+	return g.sharesMemo.Get(ccDay{country, d.DayNumber()}, func() map[string]float64 {
+		g.sharesScans.Add(1)
+		return g.countryOrgSharesScan(country, d)
+	})
+}
+
+// countryOrgSharesScan is the uncached CountryOrgShares computation.
+func (g *Generator) countryOrgSharesScan(country string, d dates.Date) map[string]float64 {
 	m := g.W.Market(country)
 	if m == nil {
 		return nil
@@ -397,4 +463,17 @@ func (g *Generator) CountryOrgShares(country string, d dates.Date) map[string]fl
 		out[k] /= float64(total)
 	}
 	return out
+}
+
+// MemoStats reports the (country, day) memo activity: total lookups and
+// uncached scans for CountryTotals and CountryOrgShares. Hits are
+// reqs − scans; under the singleflight contract scans equal the number
+// of distinct (country, day) pairs requested.
+func (g *Generator) MemoStats() (totalsReqs, totalsScans, sharesReqs, sharesScans int64) {
+	return g.totalsReqs.Load(), g.totalsScans.Load(), g.sharesReqs.Load(), g.sharesScans.Load()
+}
+
+// MemoLen reports how many (country, day) entries each memo cache holds.
+func (g *Generator) MemoLen() (totals, shares int) {
+	return g.totalsMemo.Len(), g.sharesMemo.Len()
 }

@@ -1,0 +1,14 @@
+package apnic
+
+import "repro/internal/dates"
+
+// Test-only access to the uncached scan paths, so the memo regression
+// tests can compare the cache front door against the raw computation.
+
+func (g *Generator) CountryTotalsUncached(country string, d dates.Date) (int64, float64) {
+	return g.countryTotalsScan(country, d)
+}
+
+func (g *Generator) CountryOrgSharesUncached(country string, d dates.Date) map[string]float64 {
+	return g.countryOrgSharesScan(country, d)
+}

@@ -45,6 +45,12 @@ import (
 // days generate in parallel. (The old coarse-mutex version could either
 // serialize the whole request path or, when naively double-checked,
 // generate the same day twice under load.)
+//
+// The caches are bounded LRUs (NewServerCached sets the capacity, default
+// DefaultCacheDays): a scan over a multi-year range no longer pins every
+// day's report, CSV, and row index in memory forever. Eviction is safe
+// because every artifact is a pure function of (seed, date) — an evicted
+// day regenerates byte-identically on the next request.
 type Server struct {
 	gen   *apnic.Generator
 	first dates.Date
@@ -57,15 +63,20 @@ type Server struct {
 	metrics  *obsv.Registry
 	writeCSV func(*apnic.Report, io.Writer) error // seam for render-failure tests
 
-	reports syncx.Cache[dates.Date, *apnic.Report]       // generated reports per day
-	csv     syncx.Cache[dates.Date, csvDay]              // rendered CSV per day
-	index   syncx.Cache[dates.Date, map[seriesKey]int32] // (ASN, CC) → row position per day
+	reports *syncx.LRU[dates.Date, *apnic.Report]       // generated reports per day
+	csv     *syncx.LRU[dates.Date, csvDay]              // rendered CSV per day
+	index   *syncx.LRU[dates.Date, map[seriesKey]int32] // (ASN, CC) → row position per day
 
-	genCalls   atomic.Int64 // report generations; equals distinct days served
-	reportReqs atomic.Int64 // report-cache lookups (hits = reqs − genCalls)
+	genCalls   atomic.Int64 // report generations (exceeds distinct days only after evictions)
+	reportReqs atomic.Int64 // report-cache lookups
 
 	renderErrs *obsv.Counter
 }
+
+// DefaultCacheDays bounds each day cache when NewServer is used: a year
+// of reports, which covers the usual serving window while keeping a
+// multi-year scan from growing the process without limit.
+const DefaultCacheDays = 365
 
 type csvDay struct {
 	body []byte
@@ -79,22 +90,50 @@ type seriesKey struct {
 	cc  string
 }
 
-// NewServer returns a server for [first, last].
+// NewServer returns a server for [first, last] with DefaultCacheDays of
+// bounded day caching.
 func NewServer(gen *apnic.Generator, first, last dates.Date) *Server {
+	return NewServerCached(gen, first, last, DefaultCacheDays)
+}
+
+// NewServerCached returns a server whose day caches (report, CSV, row
+// index) each hold at most cacheDays entries, evicting least recently
+// used days. cacheDays < 1 is clamped to 1.
+func NewServerCached(gen *apnic.Generator, first, last dates.Date, cacheDays int) *Server {
 	s := &Server{
 		gen:      gen,
 		first:    first,
 		last:     last,
 		metrics:  obsv.NewRegistry(),
 		writeCSV: (*apnic.Report).WriteCSV,
+		reports:  syncx.NewLRU[dates.Date, *apnic.Report](cacheDays),
+		csv:      syncx.NewLRU[dates.Date, csvDay](cacheDays),
+		index:    syncx.NewLRU[dates.Date, map[seriesKey]int32](cacheDays),
 	}
 	s.renderErrs = s.metrics.Counter("apnicweb_render_errors_total")
 	// The cache counters live as atomics on the hot path and are
 	// surfaced as gauges at scrape time, so serving cost stays flat.
 	s.metrics.GaugeFunc("apnicweb_gen_calls", func() float64 { return float64(s.genCalls.Load()) })
-	s.metrics.GaugeFunc("apnicweb_report_cache_misses", func() float64 { return float64(s.genCalls.Load()) })
+	s.metrics.GaugeFunc("apnicweb_cache_capacity_days", func() float64 { return float64(s.reports.Cap()) })
 	s.metrics.GaugeFunc("apnicweb_report_cache_hits", func() float64 {
-		return float64(s.reportReqs.Load() - s.genCalls.Load())
+		h, _, _ := s.reports.Stats()
+		return float64(h)
+	})
+	s.metrics.GaugeFunc("apnicweb_report_cache_misses", func() float64 {
+		_, m, _ := s.reports.Stats()
+		return float64(m)
+	})
+	s.metrics.GaugeFunc("apnicweb_report_cache_evictions", func() float64 {
+		_, _, e := s.reports.Stats()
+		return float64(e)
+	})
+	s.metrics.GaugeFunc("apnicweb_csv_cache_evictions", func() float64 {
+		_, _, e := s.csv.Stats()
+		return float64(e)
+	})
+	s.metrics.GaugeFunc("apnicweb_index_cache_evictions", func() float64 {
+		_, _, e := s.index.Stats()
+		return float64(e)
 	})
 	s.metrics.GaugeFunc("apnicweb_report_cache_days", func() float64 { return float64(s.reports.Len()) })
 	s.metrics.GaugeFunc("apnicweb_csv_cache_days", func() float64 { return float64(s.csv.Len()) })

@@ -13,6 +13,14 @@ import (
 	"repro/internal/world"
 )
 
+// Derivation channels for per-(pair, day) child streams: integer-tuple
+// Derive keys replace the old "pair/<cc>/<org>/<date>" Split labels on
+// the record-generation hot path.
+const (
+	chanPair uint64 = iota + 1
+	chanUA
+)
+
 // Sampler synthesizes raw log records for the world's client population:
 // each record's source address is drawn from the org's announced
 // prefixes, its User-Agent from the ua grammar, its bot score from the
@@ -83,13 +91,16 @@ func (s *Sampler) PairRecords(pair orgs.CountryOrg, d dates.Date, n int) []Recor
 		bytesMean = 20_000 * e.TrafficPerUser
 	}
 
-	stream := s.root.Split("pair/" + pair.Country + "/" + pair.Org + "/" + d.String())
-	gen := ua.NewGenerator(stream.Split("ua"), mobileShare)
+	ccKey, orgKey := rng.KeyString(pair.Country), rng.KeyString(pair.Org)
+	day := uint64(int64(d.DayNumber()))
+	stream := s.root.Derive(chanPair, ccKey, orgKey, day)
+	uaStream := s.root.Derive(chanUA, ccKey, orgKey, day)
+	gen := ua.NewGenerator(&uaStream, mobileShare)
 	out := make([]Record, 0, n)
 	for i := 0; i < n; i++ {
 		p := prefixes[stream.Intn(len(prefixes))]
 		rec := Record{
-			Client: addrIn(p, stream),
+			Client: addrIn(p, &stream),
 			Bytes:  int64(stream.LogNormal(0, 0.8) * bytesMean),
 		}
 		if stream.Bool(botShare) {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/dates"
 	"repro/internal/stats"
 )
 
@@ -80,6 +81,28 @@ func BestDay(ratios map[string]float64) (day string, ok bool) {
 		if r > 0 && r < best {
 			best = r
 			day = k
+			ok = true
+		}
+	}
+	return day, ok
+}
+
+// BestDayDate is the date-keyed variant of BestDay for per-day hot paths:
+// same rule (smallest positive ratio, ties broken toward the earliest
+// candidate) without the date→string→date round-trip. Selection is
+// identical to BestDay over the same days because "YYYY-MM-DD" labels
+// sort chronologically.
+func BestDayDate(ratios map[dates.Date]float64) (day dates.Date, ok bool) {
+	days := make([]dates.Date, 0, len(ratios))
+	for d := range ratios {
+		days = append(days, d)
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i].DayNumber() < days[j].DayNumber() })
+	best := math.Inf(1)
+	for _, d := range days {
+		if r := ratios[d]; r > 0 && r < best {
+			best = r
+			day = d
 			ok = true
 		}
 	}

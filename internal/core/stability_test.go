@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"testing"
+
+	"repro/internal/dates"
 )
 
 func TestStabilityDistance(t *testing.T) {
@@ -67,6 +69,43 @@ func TestBestDayDeterministicTies(t *testing.T) {
 	day, _ := BestDay(ratios)
 	if day != "2024-01-01" {
 		t.Fatalf("tie-break day = %s", day)
+	}
+}
+
+// TestBestDayDateMatchesBestDay checks the date-keyed variant selects the
+// same day as the string-keyed rule over identical candidates, including
+// the skip-zero and tie-break behavior.
+func TestBestDayDateMatchesBestDay(t *testing.T) {
+	byDate := map[dates.Date]float64{
+		dates.New(2024, 1, 1): 40,
+		dates.New(2024, 1, 2): 25, // best
+		dates.New(2024, 1, 3): 60,
+		dates.New(2024, 1, 4): 0, // no data — skipped
+	}
+	byLabel := map[string]float64{}
+	for d, r := range byDate {
+		byLabel[d.String()] = r
+	}
+	day, ok := BestDayDate(byDate)
+	label, lok := BestDay(byLabel)
+	if !ok || !lok || day.String() != label {
+		t.Fatalf("BestDayDate = %s (%v), BestDay = %s (%v)", day, ok, label, lok)
+	}
+
+	ties := map[dates.Date]float64{
+		dates.New(2024, 1, 3): 10,
+		dates.New(2024, 1, 1): 10,
+		dates.New(2024, 1, 2): 10,
+	}
+	if day, _ := BestDayDate(ties); day != dates.New(2024, 1, 1) {
+		t.Fatalf("tie-break day = %s, want earliest", day)
+	}
+
+	if _, ok := BestDayDate(map[dates.Date]float64{dates.New(2024, 1, 1): 0}); ok {
+		t.Fatal("all-zero ratios should fail")
+	}
+	if _, ok := BestDayDate(nil); ok {
+		t.Fatal("empty ratios should fail")
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/apnic"
+	"repro/internal/astopo"
 	"repro/internal/broadband"
 	"repro/internal/cdn"
 	"repro/internal/dates"
@@ -72,11 +73,29 @@ type Lab struct {
 	reports syncx.Cache[dates.Date, *apnic.Report]
 	snaps   syncx.Cache[dates.Date, *cdn.Snapshot]
 
+	// Shared traceroute artifacts: the AS graph and campaign are built at
+	// most once per lab, and each (day, traces) campaign run at most once.
+	topo      syncx.Cache[struct{}, *astopo.Graph]
+	campaigns syncx.Cache[struct{}, *astopo.Campaign]
+	pops      syncx.Cache[popKey, *astopo.Popularity]
+
 	reportReqs *obsv.Counter // APNIC day-cache lookups
 	reportGens *obsv.Counter // APNIC day generations (one per distinct day)
 	snapReqs   *obsv.Counter // CDN day-cache lookups
 	snapGens   *obsv.Counter // CDN day generations (one per distinct day)
+	popReqs    *obsv.Counter // path-popularity cache lookups
+	popGens    *obsv.Counter // campaign runs (one per distinct (day, traces))
 }
+
+// popKey identifies one memoized campaign result.
+type popKey struct {
+	day    int // dates.Date.DayNumber()
+	traces int // traces per vantage
+}
+
+// LabVantages is the vantage count of the lab's shared traceroute
+// campaign — ExtProxies' configuration (24 probes, ~70% western bias).
+const LabVantages = 24
 
 // NewLab builds a world and all generators from one seed.
 func NewLab(seed uint64) *Lab {
@@ -98,6 +117,9 @@ func NewLab(seed uint64) *Lab {
 	l.reportGens = l.Metrics.Counter("lab_apnic_report_generations_total")
 	l.snapReqs = l.Metrics.Counter("lab_cdn_snapshot_requests_total")
 	l.snapGens = l.Metrics.Counter("lab_cdn_snapshot_generations_total")
+	l.popReqs = l.Metrics.Counter("lab_path_popularity_requests_total")
+	l.popGens = l.Metrics.Counter("lab_path_popularity_runs_total")
+	l.Metrics.GaugeFunc("lab_path_popularity_cache_entries", func() float64 { return float64(l.pops.Len()) })
 	l.Metrics.GaugeFunc("lab_apnic_report_cache_days", func() float64 { return float64(l.reports.Len()) })
 	l.Metrics.GaugeFunc("lab_cdn_snapshot_cache_days", func() float64 { return float64(l.snaps.Len()) })
 	l.Metrics.GaugeFunc("lab_apnic_report_cache_hits", func() float64 {
@@ -126,6 +148,34 @@ func (l *Lab) Snapshot(d dates.Date) *cdn.Snapshot {
 	return l.snaps.Get(d, func() *cdn.Snapshot {
 		l.snapGens.Inc()
 		return l.CDN.Generate(d)
+	})
+}
+
+// Topology returns the lab's shared AS-relationship graph, built at most
+// once even under concurrent access.
+func (l *Lab) Topology() *astopo.Graph {
+	return l.topo.Get(struct{}{}, func() *astopo.Graph {
+		return astopo.BuildGraph(l.W, l.Seed)
+	})
+}
+
+// Campaign returns the shared traceroute campaign (LabVantages probes)
+// over the lab topology, built at most once. Per-vantage path trees are
+// memoized inside the campaign, so repeat days only pay for tracing.
+func (l *Lab) Campaign() *astopo.Campaign {
+	return l.campaigns.Get(struct{}{}, func() *astopo.Campaign {
+		return astopo.NewCampaign(l.W, l.Topology(), l.Seed, LabVantages)
+	})
+}
+
+// PathPopularity returns the memoized campaign result for one
+// (day, tracesPerVantage) pair, running the campaign at most once per
+// pair even under concurrent runners.
+func (l *Lab) PathPopularity(d dates.Date, tracesPerVantage int) *astopo.Popularity {
+	l.popReqs.Inc()
+	return l.pops.Get(popKey{d.DayNumber(), tracesPerVantage}, func() *astopo.Popularity {
+		l.popGens.Inc()
+		return l.Campaign().Run(d, tracesPerVantage)
 	})
 }
 

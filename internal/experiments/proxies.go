@@ -5,7 +5,6 @@ import (
 	"math"
 	"strings"
 
-	"repro/internal/astopo"
 	"repro/internal/dnscount"
 	"repro/internal/orgs"
 	"repro/internal/report"
@@ -33,9 +32,8 @@ func ExtProxies(l *Lab) *Result {
 	ix := l.IXP.Generate(PrimaryCDNDay)
 	dns := dnscount.New(l.W, l.Seed).Generate(PrimaryCDNDay)
 
-	graph := astopo.BuildGraph(l.W, l.Seed)
-	campaign := astopo.NewCampaign(l.W, graph, l.Seed, 24)
-	popularity := campaign.Run(PrimaryCDNDay, 150)
+	campaign := l.Campaign()
+	popularity := l.PathPopularity(PrimaryCDNDay, 150)
 
 	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 
@@ -56,14 +54,23 @@ func ExtProxies(l *Lab) *Result {
 		}},
 	}
 
+	countries := l.W.Countries()
 	truePairs := l.W.CountryOrgPairs(PrimaryCDNDay)
 	metrics := map[string]float64{}
 	var rows [][]string
 	for _, p := range proxies {
+		// Build each country's share map once per proxy. The correlation
+		// pass and the per-pair coverage pass below both read from this
+		// table; the coverage pass used to recompute the full map once per
+		// true pair, which dominated the runner's cost.
+		shareByCC := make(map[string]map[string]float64, len(countries))
+		for _, cc := range countries {
+			shareByCC[cc] = p.shares(cc)
+		}
 		var corrs []float64
-		for _, cc := range l.W.Countries() {
+		for _, cc := range countries {
 			vol := snap.VolumeShares(cc)
-			sh := p.shares(cc)
+			sh := shareByCC[cc]
 			if len(sh) < 5 || len(vol) < 5 {
 				continue
 			}
@@ -76,7 +83,7 @@ func ExtProxies(l *Lab) *Result {
 		// Coverage over the true pair set.
 		covered := 0
 		for _, pair := range truePairs {
-			if p.shares(pair.Country)[pair.Org] > 0 {
+			if shareByCC[pair.Country][pair.Org] > 0 {
 				covered++
 			}
 		}

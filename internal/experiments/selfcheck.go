@@ -202,18 +202,16 @@ func stabilityDistances(l *Lab, ccs []string, start dates.Date, periods, stepDay
 // days ending at d, pick the one with the smallest users-per-sample
 // ratio for the country.
 func bestDayBefore(l *Lab, cc string, d dates.Date, window int) dates.Date {
-	ratios := map[string]float64{}
+	ratios := map[dates.Date]float64{}
 	for off := 0; off < window; off += 5 {
 		day := d.AddDays(-off)
 		s, u := l.APNIC.CountryTotals(cc, day)
 		if s > 0 {
-			ratios[day.String()] = core.ElasticityRatio(u, float64(s))
+			ratios[day] = core.ElasticityRatio(u, float64(s))
 		}
 	}
-	if best, ok := core.BestDay(ratios); ok {
-		if bd, err := dates.Parse(best); err == nil {
-			return bd
-		}
+	if best, ok := core.BestDayDate(ratios); ok {
+		return best
 	}
 	return d
 }

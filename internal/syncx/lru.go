@@ -1,0 +1,136 @@
+package syncx
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// LRU is a bounded variant of Cache: per-key singleflight fills with
+// least-recently-used eviction once the number of resident keys exceeds
+// the capacity. It exists for long-running servers where the key space
+// (e.g. every day of a decade-long date range) is too large to retain
+// forever but hot keys must still be generated at most once while they
+// stay resident.
+//
+// The singleflight guarantee is scoped to residency: while a key is in
+// the cache, concurrent Gets share one fill; after the key is evicted, a
+// later Get fills again. Callers therefore need fills that are pure
+// functions of the key (true of every day artifact in this repository),
+// so an eviction can never change observable values, only cost.
+//
+// Hit, miss, and eviction counts are kept as atomics so an observability
+// layer can surface them as gauges without taking the cache lock.
+type LRU[K comparable, V any] struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[K]*lruEntry[K, V]
+	// head is the most recently used entry, tail the eviction candidate.
+	head, tail *lruEntry[K, V]
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key        K
+	once       sync.Once
+	val        V
+	prev, next *lruEntry[K, V]
+}
+
+// NewLRU returns a bounded cache retaining at most capacity keys
+// (capacity < 1 means 1).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{cap: capacity, entries: make(map[K]*lruEntry[K, V], capacity+1)}
+}
+
+// Get returns the value for key, running fill unless a fill for key is
+// resident (completed or in flight). The lock is held only to locate the
+// entry and maintain recency order, never across fill, so misses on
+// distinct keys do not serialize. An entry evicted while its fill is in
+// flight still completes for its waiters; it is simply no longer shared
+// with later callers.
+func (c *LRU[K, V]) Get(key K, fill func() V) V {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits.Add(1)
+		c.moveToFront(e)
+	} else {
+		c.misses.Add(1)
+		e = &lruEntry[K, V]{key: key}
+		c.entries[key] = e
+		c.pushFront(e)
+		if len(c.entries) > c.cap {
+			c.evict()
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val = fill() })
+	return e.val
+}
+
+// evict removes the least recently used entry. Caller holds c.mu.
+func (c *LRU[K, V]) evict() {
+	victim := c.tail
+	if victim == nil {
+		return
+	}
+	c.unlink(victim)
+	delete(c.entries, victim.key)
+	c.evictions.Add(1)
+}
+
+func (c *LRU[K, V]) pushFront(e *lruEntry[K, V]) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *LRU[K, V]) unlink(e *lruEntry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *LRU[K, V]) moveToFront(e *lruEntry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// Len reports how many keys are resident (filled or in flight).
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Cap returns the configured capacity.
+func (c *LRU[K, V]) Cap() int { return c.cap }
+
+// Stats returns cumulative hit, miss, and eviction counts. Safe to call
+// concurrently with Get; intended for metrics gauges.
+func (c *LRU[K, V]) Stats() (hits, misses, evictions int64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

@@ -1,0 +1,138 @@
+package syncx
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLRUSingleflight hammers one resident key and checks exactly one
+// fill ran and every caller saw its value.
+func TestLRUSingleflight(t *testing.T) {
+	c := NewLRU[string, int](4)
+	var fills atomic.Int64
+	var wg sync.WaitGroup
+	const goroutines = 48
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g] = c.Get("k", func() int {
+				fills.Add(1)
+				time.Sleep(2 * time.Millisecond) // widen the race window
+				return 9
+			})
+		}()
+	}
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fill ran %d times, want 1", n)
+	}
+	for g, v := range results {
+		if v != 9 {
+			t.Fatalf("goroutine %d saw %d, want 9", g, v)
+		}
+	}
+	hits, misses, evictions := c.Stats()
+	if misses != 1 || evictions != 0 {
+		t.Fatalf("stats = (%d hits, %d misses, %d evictions); want 1 miss, 0 evictions", hits, misses, evictions)
+	}
+	if hits != goroutines-1 {
+		t.Fatalf("hits = %d, want %d", hits, goroutines-1)
+	}
+}
+
+// TestLRUEviction walks more keys than the capacity and checks the
+// recency order of evictions: the least recently *used* key goes, not
+// the least recently inserted.
+func TestLRUEviction(t *testing.T) {
+	c := NewLRU[int, int](2)
+	fills := map[int]int{}
+	get := func(k int) int {
+		return c.Get(k, func() int { fills[k]++; return k * 10 })
+	}
+	get(1) // resident: [1]
+	get(2) // resident: [2 1]
+	get(1) // touch 1 → resident: [1 2]
+	get(3) // evicts 2 → resident: [3 1]
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if got := get(2); got != 20 { // refill after eviction
+		t.Fatalf("Get(2) = %d, want 20", got)
+	}
+	if fills[2] != 2 {
+		t.Fatalf("key 2 filled %d times; want 2 (evicted then refilled)", fills[2])
+	}
+	if fills[1] != 1 {
+		t.Fatalf("key 1 filled %d times; want 1 (kept resident by the touch)", fills[1])
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want capacity 2", c.Len())
+	}
+}
+
+// TestLRUDeterministicRefill checks the contract the day caches rely on:
+// values are pure functions of the key, so an evicted-and-refilled key
+// yields an equal value.
+func TestLRUDeterministicRefill(t *testing.T) {
+	c := NewLRU[int, int](1)
+	pure := func(k int) func() int { return func() int { return k*k + 7 } }
+	first := c.Get(5, pure(5))
+	c.Get(6, pure(6)) // evicts 5
+	again := c.Get(5, pure(5))
+	if first != again {
+		t.Fatalf("refill changed value: %d then %d", first, again)
+	}
+}
+
+// TestLRUHammerUnderPressure pounds a key space larger than the capacity
+// from many goroutines — the -race workout for concurrent Get, eviction,
+// and in-flight eviction. Values must always match the key's pure fill.
+func TestLRUHammerUnderPressure(t *testing.T) {
+	const capacity, keys = 8, 64
+	c := NewLRU[int, int](capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < 24; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*13 + i) % keys
+				if got := c.Get(k, func() int { return k * 101 }); got != k*101 {
+					t.Errorf("Get(%d) = %d, want %d", k, got, k*101)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := c.Len(); n > capacity {
+		t.Fatalf("Len = %d exceeds capacity %d", n, capacity)
+	}
+	hits, misses, evictions := c.Stats()
+	if evictions == 0 {
+		t.Fatal("no evictions under pressure")
+	}
+	if hits+misses != 24*500 {
+		t.Fatalf("hits (%d) + misses (%d) != requests (%d)", hits, misses, 24*500)
+	}
+	if misses < keys { // every key must have missed at least once
+		t.Fatalf("misses = %d, want >= %d", misses, keys)
+	}
+}
+
+// TestLRUCapacityNormalization checks degenerate capacities.
+func TestLRUCapacityNormalization(t *testing.T) {
+	c := NewLRU[int, int](0)
+	if c.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", c.Cap())
+	}
+	c.Get(1, func() int { return 1 })
+	c.Get(2, func() int { return 2 })
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}

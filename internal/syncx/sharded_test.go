@@ -1,0 +1,113 @@
+package syncx
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func identHash(k int) uint64 { return uint64(k) }
+
+// TestShardedSingleflight hammers a key set spread across shards from
+// many goroutines and checks every key filled exactly once and every
+// caller saw the fill's value.
+func TestShardedSingleflight(t *testing.T) {
+	c := NewSharded[int, int](8, identHash)
+	const keys = 64
+	fills := make([]atomic.Int64, keys)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g*7 + i) % keys
+				if got := c.Get(k, func() int { fills[k].Add(1); return k * 3 }); got != k*3 {
+					t.Errorf("Get(%d) = %d, want %d", k, got, k*3)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := range fills {
+		if n := fills[k].Load(); n != 1 {
+			t.Errorf("key %d filled %d times, want 1", k, n)
+		}
+	}
+	if c.Len() != keys {
+		t.Errorf("Len = %d, want %d", c.Len(), keys)
+	}
+}
+
+// TestShardedOneKeyManyWaiters checks the per-key singleflight contract
+// survives a deliberately widened race window.
+func TestShardedOneKeyManyWaiters(t *testing.T) {
+	c := NewSharded[string, int](4, func(s string) uint64 { return uint64(len(s)) })
+	var fills atomic.Int64
+	var wg sync.WaitGroup
+	const goroutines = 48
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g] = c.Get("key", func() int {
+				fills.Add(1)
+				time.Sleep(2 * time.Millisecond)
+				return 11
+			})
+		}()
+	}
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fill ran %d times, want 1", n)
+	}
+	for g, v := range results {
+		if v != 11 {
+			t.Fatalf("goroutine %d saw %d, want 11", g, v)
+		}
+	}
+}
+
+// TestShardedDistinctShardsParallel proves fills landing on different
+// shards overlap: each fill blocks until the other has started.
+func TestShardedDistinctShardsParallel(t *testing.T) {
+	c := NewSharded[int, int](2, identHash)
+	started := make(chan int, 2)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for k := 0; k < 2; k++ { // keys 0 and 1 hash to different shards
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Get(k, func() int {
+				started <- k
+				<-release
+				return k
+			})
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("cross-shard fills serialized: second fill never started")
+		}
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestShardedShardCountRounding checks constructor normalization.
+func TestShardedShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-1, 16}, {0, 16}, {1, 16}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		c := NewSharded[int, int](tc.in, identHash)
+		if len(c.shards) != tc.want {
+			t.Errorf("NewSharded(%d): %d shards, want %d", tc.in, len(c.shards), tc.want)
+		}
+	}
+}
