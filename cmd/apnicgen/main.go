@@ -1,21 +1,27 @@
-// Command apnicgen generates APNIC-style daily report CSVs from the
-// synthetic world.
+// Command apnicgen generates dataset CSVs from the synthetic world. By
+// default it emits APNIC-style daily reports in the legacy column layout;
+// -dataset selects any registered source (apnic, cdn, itu, mlab,
+// dnscount, broadband, ixp) and emits its self-describing frame CSV.
 //
 // Usage:
 //
 //	apnicgen -seed 42 -from 2024-04-01 -to 2024-04-07 -out reports/
-//	apnicgen -date 2024-04-21        # single day to stdout
+//	apnicgen -date 2024-04-21                  # single day to stdout
+//	apnicgen -dataset cdn -date 2024-04-21     # frame CSV of another dataset
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/apnic"
 	"repro/internal/dates"
 	"repro/internal/itu"
+	"repro/internal/source/bundle"
 	"repro/internal/world"
 )
 
@@ -26,17 +32,45 @@ func main() {
 	to := flag.String("to", "", "range end (YYYY-MM-DD)")
 	step := flag.Int("step", 1, "days between reports in range mode")
 	out := flag.String("out", ".", "output directory for range mode")
+	dataset := flag.String("dataset", "",
+		"emit this dataset's frame CSV instead of the legacy APNIC layout (apnic, cdn, itu, mlab, dnscount, broadband, ixp)")
 	flag.Parse()
 
 	w := world.MustBuild(world.Config{Seed: *seed})
-	gen := apnic.New(w, itu.New(w, *seed), *seed)
+
+	// writeDay abstracts over the two output modes: the legacy APNIC CSV
+	// (default, byte-identical to what apnicgen has always produced) and
+	// the generic frame CSV of any registered dataset.
+	var writeDay func(d dates.Date, out io.Writer) error
+	prefix := "apnic"
+	if *dataset == "" {
+		gen := apnic.New(w, itu.New(w, *seed), *seed)
+		writeDay = func(d dates.Date, out io.Writer) error {
+			return gen.Generate(d).WriteCSV(out)
+		}
+	} else {
+		b := bundle.New(w, *seed, bundle.Config{})
+		if _, ok := b.Registry.Lookup(*dataset); !ok {
+			fmt.Fprintf(os.Stderr, "apnicgen: unknown dataset %q (have: %s)\n",
+				*dataset, strings.Join(b.Registry.Names(), ", "))
+			os.Exit(2)
+		}
+		prefix = *dataset
+		writeDay = func(d dates.Date, out io.Writer) error {
+			f, err := b.Registry.Frame(*dataset, d)
+			if err != nil {
+				return err
+			}
+			return f.WriteCSV(out)
+		}
+	}
 
 	if *date != "" {
 		d, err := dates.Parse(*date)
 		if err != nil {
 			fatal(err)
 		}
-		if err := gen.Generate(d).WriteCSV(os.Stdout); err != nil {
+		if err := writeDay(d, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -58,12 +92,12 @@ func main() {
 		fatal(err)
 	}
 	for _, d := range dates.Range(f, t, *step) {
-		path := filepath.Join(*out, fmt.Sprintf("apnic-%s.csv", d))
+		path := filepath.Join(*out, fmt.Sprintf("%s-%s.csv", prefix, d))
 		file, err := os.Create(path)
 		if err != nil {
 			fatal(err)
 		}
-		err = gen.Generate(d).WriteCSV(file)
+		err = writeDay(d, file)
 		if cerr := file.Close(); err == nil {
 			err = cerr
 		}

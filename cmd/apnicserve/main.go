@@ -1,5 +1,9 @@
-// Command apnicserve serves APNIC-style daily reports over HTTP, the way
-// the real dataset is published on stats.labs.apnic.net.
+// Command apnicserve serves the full dataset roster over HTTP: the APNIC
+// per-AS report plus the six companion simulators (cdn, itu, mlab,
+// dnscount, broadband, ixp), each under /v1/{dataset}/.... The legacy
+// APNIC routes (/v1/dates, /v1/reports/{date}.csv, /v1/series/AS<asn>)
+// stay byte-identical, the way the real dataset is published on
+// stats.labs.apnic.net.
 //
 // Usage:
 //
@@ -9,6 +13,8 @@
 //
 //	curl http://localhost:8080/v1/dates
 //	curl http://localhost:8080/v1/reports/2024-04-21.csv | head
+//	curl http://localhost:8080/v1/itu/dates
+//	curl http://localhost:8080/v1/cdn/reports/2024-04-21.csv | head
 //	curl http://localhost:8080/metrics                    # Prometheus text
 //	curl 'http://localhost:8080/metrics?format=json'      # expvar-style JSON
 //
@@ -29,10 +35,8 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/apnic"
 	"repro/internal/apnicweb"
 	"repro/internal/dates"
-	"repro/internal/itu"
 	"repro/internal/world"
 )
 
@@ -59,9 +63,7 @@ func main() {
 	}
 
 	log.Printf("building world (seed %d)...", *seed)
-	w := world.MustBuild(world.Config{Seed: *seed})
-	gen := apnic.New(w, itu.New(w, *seed), *seed)
-	srv := apnicweb.NewServerCached(gen, first, last, *cacheDays)
+	srv := buildServer(*seed, first, last, *cacheDays)
 	if *logReqs {
 		srv.Log = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
 	}
@@ -95,4 +97,11 @@ func main() {
 			log.Printf("dumping metrics: %v", err)
 		}
 	}
+}
+
+// buildServer assembles the seven-dataset server; split out of main so
+// the integration test can exercise the exact handler main serves.
+func buildServer(seed uint64, first, last dates.Date, cacheDays int) *apnicweb.Server {
+	w := world.MustBuild(world.Config{Seed: seed})
+	return apnicweb.NewMultiServer(w, seed, first, last, cacheDays)
 }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dates"
+)
+
+// TestServeAllDatasets is the integration check from the roadmap: boot
+// the exact handler main serves and curl every dataset's dates route
+// plus one report. The loop mirrors
+//
+//	for d in apnic cdn itu mlab dnscount broadband ixp; do
+//	    curl $base/v1/$d/dates
+//	    curl $base/v1/$d/reports/2024-04-21.csv
+//	done
+func TestServeAllDatasets(t *testing.T) {
+	srv := buildServer(11, dates.New(2024, 1, 1), dates.New(2024, 12, 31), 16)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	curl := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	for _, dataset := range []string{"apnic", "cdn", "itu", "mlab", "dnscount", "broadband", "ixp"} {
+		code, body := curl("/v1/" + dataset + "/dates")
+		if code != http.StatusOK {
+			t.Fatalf("%s dates: status %d: %s", dataset, code, body)
+		}
+		var dd struct {
+			Dataset string `json:"dataset"`
+			First   string `json:"first"`
+			Last    string `json:"last"`
+			Cadence string `json:"cadence"`
+		}
+		if err := json.Unmarshal(body, &dd); err != nil {
+			t.Fatalf("%s dates body %q: %v", dataset, body, err)
+		}
+		if dd.Dataset != dataset || dd.First != "2024-01-01" || dd.Last != "2024-12-31" {
+			t.Fatalf("%s dates = %+v", dataset, dd)
+		}
+
+		code, body = curl("/v1/" + dataset + "/reports/2024-04-21.csv")
+		if code != http.StatusOK {
+			t.Fatalf("%s report: status %d: %s", dataset, code, body)
+		}
+		if !strings.HasPrefix(string(body), "#source,"+dataset+",") {
+			t.Fatalf("%s report does not open with its frame meta record: %.80q", dataset, body)
+		}
+		if lines := strings.Count(string(body), "\n"); lines < 3 {
+			t.Fatalf("%s report has only %d lines", dataset, lines)
+		}
+	}
+
+	// The legacy APNIC surface main has always served must still answer.
+	if code, _ := curl("/v1/dates"); code != http.StatusOK {
+		t.Fatalf("legacy /v1/dates: status %d", code)
+	}
+	if code, body := curl("/v1/reports/2024-04-21.csv"); code != http.StatusOK {
+		t.Fatalf("legacy report: status %d", code)
+	} else if !strings.Contains(string(body), "Estimated Users") {
+		t.Fatalf("legacy report lacks native header: %.120q", body)
+	}
+}

@@ -36,6 +36,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/source/bundle"
+	"repro/internal/world"
 )
 
 // RunnerTiming is one runner's wall time within a sweep.
@@ -56,14 +58,27 @@ type Sweep struct {
 	Runners []RunnerTiming `json:"runners"`
 }
 
+// SourceTiming is one dataset's cold Generate cost through the source
+// registry: a fresh bundle, one registry.Frame call, MemStats deltas
+// around it. These rows track the per-dataset generation cost the same
+// way the sweep rows track the experiment runners.
+type SourceTiming struct {
+	Name       string `json:"name"`
+	ElapsedNS  int64  `json:"elapsed_ns"`
+	Mallocs    int64  `json:"mallocs"`
+	AllocBytes int64  `json:"alloc_bytes"`
+	Rows       int    `json:"rows"`
+}
+
 // Report is the whole BENCH_sweep.json document.
 type Report struct {
-	GeneratedUnix int64   `json:"generated_unix"`
-	GoVersion     string  `json:"go_version"`
-	NumCPU        int     `json:"num_cpu"`
-	GOMAXPROCS    int     `json:"gomaxprocs"`
-	Seed          uint64  `json:"seed"`
-	Sweeps        []Sweep `json:"sweeps"`
+	GeneratedUnix int64          `json:"generated_unix"`
+	GoVersion     string         `json:"go_version"`
+	NumCPU        int            `json:"num_cpu"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	Seed          uint64         `json:"seed"`
+	Sweeps        []Sweep        `json:"sweeps"`
+	Sources       []SourceTiming `json:"sources"`
 
 	// History holds prior runs' headline sweeps, oldest first, capped at
 	// historyCap entries. Each new run folds the previous report's first
@@ -144,6 +159,12 @@ func main() {
 			s.Mallocs, fmtBytes(s.AllocBytes))
 	}
 
+	rep.Sources = measureSources(*seed)
+	for _, st := range rep.Sources {
+		fmt.Fprintf(os.Stderr, "source %-10s: generate=%s rows=%d mallocs=%d alloc=%s\n",
+			st.Name, time.Duration(st.ElapsedNS), st.Rows, st.Mallocs, fmtBytes(st.AllocBytes))
+	}
+
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -220,6 +241,39 @@ func measure(seed uint64, parallelism int) Sweep {
 		s.Runners = append(s.Runners, RunnerTiming{Name: r.Runner.Name, ElapsedNS: r.Elapsed.Nanoseconds()})
 	}
 	return s
+}
+
+// measureSources times one cold Generate per registered dataset through
+// the registry's frame path. The world is built once outside the
+// measured regions; each dataset's first Frame call is what's timed, so
+// the rows record generation cost, not cache hits.
+func measureSources(seed uint64) []SourceTiming {
+	w := world.MustBuild(world.Config{Seed: seed})
+	b := bundle.New(w, seed, bundle.Config{})
+	day := experiments.PrimaryCDNDay
+
+	var out []SourceTiming
+	for _, name := range b.Registry.Names() {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		f, err := b.Registry.Frame(name, day)
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsweep: source %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		out = append(out, SourceTiming{
+			Name:       name,
+			ElapsedNS:  elapsed.Nanoseconds(),
+			Mallocs:    int64(after.Mallocs - before.Mallocs),
+			AllocBytes: int64(after.TotalAlloc - before.TotalAlloc),
+			Rows:       f.Rows(),
+		})
+	}
+	return out
 }
 
 func fmtBytes(n int64) string {

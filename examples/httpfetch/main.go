@@ -1,7 +1,9 @@
 // HTTP fetch: run the dataset server and a client in one process, the way
 // a research pipeline consumes the real dataset from stats.labs.apnic.net:
 // discover the served date range, download a week of daily CSVs, build an
-// archive, and extract a per-AS time series.
+// archive, and extract a per-AS time series. The server carries the full
+// seven-dataset roster, so the same client then pulls a non-APNIC dataset
+// (the ITU country totals) over the generic /v1/{dataset}/... routes.
 //
 //	go run ./examples/httpfetch
 package main
@@ -17,15 +19,14 @@ import (
 	"repro/internal/apnic"
 	"repro/internal/apnicweb"
 	"repro/internal/dates"
-	"repro/internal/itu"
 	"repro/internal/world"
 )
 
 func main() {
-	// Server side: build the world and serve reports on a loopback port.
+	// Server side: build the world once and serve every dataset on a
+	// loopback port. The legacy APNIC routes ride along unchanged.
 	w := world.MustBuild(world.Config{Seed: 1})
-	gen := apnic.New(w, itu.New(w, 1), 1)
-	srv := apnicweb.NewServer(gen, dates.New(2024, 4, 1), dates.New(2024, 4, 30))
+	srv := apnicweb.NewMultiServer(w, 1, dates.New(2024, 4, 1), dates.New(2024, 4, 30), 30)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -35,7 +36,7 @@ func main() {
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
 	base := "http://" + ln.Addr().String()
-	fmt.Println("serving the APNIC dataset on", base)
+	fmt.Println("serving the dataset roster on", base)
 
 	// Client side: discover the range, fetch a week, build an archive.
 	client := &apnicweb.Client{BaseURL: base}
@@ -66,5 +67,27 @@ func main() {
 	fmt.Printf("\ntop German AS%d over the fetched week:\n", asns[0])
 	for _, p := range archive.Series("DE", asns[0]) {
 		fmt.Printf("  %s  users=%.0f  samples=%d\n", p.Date, p.Users, p.Samples)
+	}
+
+	// Beyond APNIC: the same server publishes the companion datasets.
+	// Pull the ITU country totals for the first served day and read off a
+	// few large countries from the self-describing frame.
+	dd, err := client.DatasetDates(ctx, "itu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nitu dataset: %s .. %s (cadence %s)\n", dd.First, dd.Last, dd.Cadence)
+	f, err := client.Frame(ctx, "itu", first)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc, users := f.Col("CC"), f.Col("Users")
+	fmt.Printf("itu frame for %s: %d countries\n", first, f.Rows())
+	shown := 0
+	for i := 0; i < f.Rows() && shown < 3; i++ {
+		if users.Floats[i] > 1e8 {
+			fmt.Printf("  %s  users=%.0f\n", cc.Strs[i], users.Floats[i])
+			shown++
+		}
 	}
 }

@@ -1,24 +1,37 @@
-// Package apnicweb serves and fetches APNIC-style daily reports over
-// HTTP, mirroring how the real dataset is published on
-// stats.labs.apnic.net and consumed by research pipelines. The server
-// exposes generated CSV reports with daily cache semantics; the client
-// downloads and parses them back into apnic.Report values.
+// Package apnicweb serves and fetches the simulated datasets over HTTP.
+// Historically it published only the APNIC per-AS reports, mirroring
+// stats.labs.apnic.net; it now serves every dataset registered in a
+// source.Registry under generic routes, with the original APNIC routes
+// kept as byte-identical compatibility aliases.
 //
-// Endpoints:
+// Generic endpoints (one family per registered dataset):
 //
-//	GET /v1/reports/<YYYY-MM-DD>.csv           one day's report as CSV
+//	GET /v1/{dataset}/dates                    served range + cadence, JSON
+//	GET /v1/{dataset}/reports/{date}.csv       one day's frame as CSV
+//	GET /v1/{dataset}/reports/{date}           one day's frame as JSON
+//	GET /v1/{dataset}/series/{key}?cc=XX&from=&to=&step=   per-row series, JSON
+//
+// Legacy APNIC aliases (responses byte-identical to the APNIC-only server):
+//
+//	GET /v1/reports/{date}                     <YYYY-MM-DD>.csv, native CSV
 //	GET /v1/dates                              served date range, JSON
-//	GET /v1/series/AS<asn>?cc=XX&from=&to=&step=   per-AS time series, JSON
+//	GET /v1/series/{asn}?cc=XX&from=&to=&step= per-AS time series, JSON
 //	    (the footnote-2 per-ASN view of stats.labs.apnic.net)
+//
+// Plus:
+//
 //	GET /metrics                               Prometheus text (?format=json for JSON)
 //	GET /healthz                               liveness probe
 //
-// Every route is wrapped in the obsv middleware, so request counts,
-// status classes, and latency histograms appear on /metrics alongside
-// the server's cache and render-error series.
+// Every route is wrapped in the obsv middleware with a bounded per-route
+// (and per-dataset) label, so request counts, status classes, and latency
+// histograms appear on /metrics alongside the cache and render-error
+// series. Errors on generic routes carry a JSON body; legacy routes keep
+// their original plain-text errors.
 package apnicweb
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -29,13 +42,15 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/apnic"
 	"repro/internal/dates"
 	"repro/internal/obsv"
+	"repro/internal/source"
+	"repro/internal/source/bundle"
 	"repro/internal/syncx"
+	"repro/internal/world"
 )
 
 // Server serves generated reports for a date range.
@@ -52,9 +67,10 @@ import (
 // because every artifact is a pure function of (seed, date) — an evicted
 // day regenerates byte-identically on the next request.
 type Server struct {
-	gen   *apnic.Generator
-	first dates.Date
-	last  dates.Date
+	reg      *source.Registry
+	apnicSrc *apnic.Source // legacy alias routes need the native reports
+	first    dates.Date
+	last     dates.Date
 
 	// Log, when non-nil, receives structured request logs and render
 	// failures. Set it before calling Handler.
@@ -63,12 +79,9 @@ type Server struct {
 	metrics  *obsv.Registry
 	writeCSV func(*apnic.Report, io.Writer) error // seam for render-failure tests
 
-	reports *syncx.LRU[dates.Date, *apnic.Report]       // generated reports per day
-	csv     *syncx.LRU[dates.Date, csvDay]              // rendered CSV per day
-	index   *syncx.LRU[dates.Date, map[seriesKey]int32] // (ASN, CC) → row position per day
-
-	genCalls   atomic.Int64 // report generations (exceeds distinct days only after evictions)
-	reportReqs atomic.Int64 // report-cache lookups
+	csv    *syncx.LRU[dates.Date, csvDay]              // legacy APNIC CSV per day
+	index  *syncx.LRU[dates.Date, map[seriesKey]int32] // (ASN, CC) → row position per day
+	frames *syncx.LRU[frameKey, csvDay]                // generic frame CSV per (dataset, day)
 
 	renderErrs *obsv.Counter
 }
@@ -83,6 +96,12 @@ type csvDay struct {
 	err  error
 }
 
+// frameKey identifies one rendered frame CSV in the generic cache.
+type frameKey struct {
+	dataset string
+	day     int // dates.Date.DayNumber()
+}
+
 // seriesKey identifies one row of a day's report: the paper's
 // per-(country, AS) series identity.
 type seriesKey struct {
@@ -90,43 +109,56 @@ type seriesKey struct {
 	cc  string
 }
 
-// NewServer returns a server for [first, last] with DefaultCacheDays of
-// bounded day caching.
+// NewServer returns an APNIC-only server for [first, last] with
+// DefaultCacheDays of bounded day caching.
 func NewServer(gen *apnic.Generator, first, last dates.Date) *Server {
 	return NewServerCached(gen, first, last, DefaultCacheDays)
 }
 
-// NewServerCached returns a server whose day caches (report, CSV, row
-// index) each hold at most cacheDays entries, evicting least recently
-// used days. cacheDays < 1 is clamped to 1.
+// NewServerCached returns an APNIC-only server whose day caches each hold
+// at most cacheDays entries, evicting least recently used days. cacheDays
+// < 1 is clamped to 1. The generic routes serve the single "apnic"
+// dataset; NewMultiServer serves the full roster.
 func NewServerCached(gen *apnic.Generator, first, last dates.Date, cacheDays int) *Server {
+	metrics := obsv.NewRegistry()
+	reg := source.NewRegistry(metrics, cacheDays)
+	apnicSrc := apnic.NewSource(gen, metrics, cacheDays)
+	reg.Register(apnicSrc)
+	return newServer(reg, apnicSrc, first, last, cacheDays, metrics)
+}
+
+// NewMultiServer builds the full seven-dataset roster over one world and
+// serves every dataset under /v1/{dataset}/..., with the legacy APNIC
+// routes aliasing the "apnic" dataset.
+func NewMultiServer(w *world.World, seed uint64, first, last dates.Date, cacheDays int) *Server {
+	metrics := obsv.NewRegistry()
+	b := bundle.New(w, seed, bundle.Config{Metrics: metrics, CacheDays: cacheDays})
+	return newServer(b.Registry, b.APNIC, first, last, cacheDays, metrics)
+}
+
+func newServer(reg *source.Registry, apnicSrc *apnic.Source, first, last dates.Date, cacheDays int, metrics *obsv.Registry) *Server {
+	if cacheDays < 1 {
+		cacheDays = 1
+	}
 	s := &Server{
-		gen:      gen,
+		reg:      reg,
+		apnicSrc: apnicSrc,
 		first:    first,
 		last:     last,
-		metrics:  obsv.NewRegistry(),
+		metrics:  metrics,
 		writeCSV: (*apnic.Report).WriteCSV,
-		reports:  syncx.NewLRU[dates.Date, *apnic.Report](cacheDays),
 		csv:      syncx.NewLRU[dates.Date, csvDay](cacheDays),
 		index:    syncx.NewLRU[dates.Date, map[seriesKey]int32](cacheDays),
+		// One day-budget per dataset: the generic cache serves the whole
+		// roster, so its capacity scales with the roster size.
+		frames: syncx.NewLRU[frameKey, csvDay](cacheDays * max(1, len(reg.Names()))),
 	}
 	s.renderErrs = s.metrics.Counter("apnicweb_render_errors_total")
-	// The cache counters live as atomics on the hot path and are
-	// surfaced as gauges at scrape time, so serving cost stays flat.
-	s.metrics.GaugeFunc("apnicweb_gen_calls", func() float64 { return float64(s.genCalls.Load()) })
-	s.metrics.GaugeFunc("apnicweb_cache_capacity_days", func() float64 { return float64(s.reports.Cap()) })
-	s.metrics.GaugeFunc("apnicweb_report_cache_hits", func() float64 {
-		h, _, _ := s.reports.Stats()
-		return float64(h)
-	})
-	s.metrics.GaugeFunc("apnicweb_report_cache_misses", func() float64 {
-		_, m, _ := s.reports.Stats()
-		return float64(m)
-	})
-	s.metrics.GaugeFunc("apnicweb_report_cache_evictions", func() float64 {
-		_, _, e := s.reports.Stats()
-		return float64(e)
-	})
+	// Cache counters live in the LRUs on the hot path and are surfaced as
+	// gauges at scrape time, so serving cost stays flat. The native
+	// report cache's series (source_cache_*{dataset="apnic"}, ...) are
+	// registered by the source layer on the same registry.
+	s.metrics.GaugeFunc("apnicweb_cache_capacity_days", func() float64 { return float64(s.csv.Cap()) })
 	s.metrics.GaugeFunc("apnicweb_csv_cache_evictions", func() float64 {
 		_, _, e := s.csv.Stats()
 		return float64(e)
@@ -135,8 +167,12 @@ func NewServerCached(gen *apnic.Generator, first, last dates.Date, cacheDays int
 		_, _, e := s.index.Stats()
 		return float64(e)
 	})
-	s.metrics.GaugeFunc("apnicweb_report_cache_days", func() float64 { return float64(s.reports.Len()) })
 	s.metrics.GaugeFunc("apnicweb_csv_cache_days", func() float64 { return float64(s.csv.Len()) })
+	s.metrics.GaugeFunc("apnicweb_frame_cache_days", func() float64 { return float64(s.frames.Len()) })
+	s.metrics.GaugeFunc("apnicweb_frame_cache_evictions", func() float64 {
+		_, _, e := s.frames.Stats()
+		return float64(e)
+	})
 	return s
 }
 
@@ -144,14 +180,13 @@ func NewServerCached(gen *apnic.Generator, first, last dates.Date, cacheDays int
 // their own series and dump a snapshot on exit.
 func (s *Server) Metrics() *obsv.Registry { return s.metrics }
 
+// Registry exposes the dataset roster the server serves.
+func (s *Server) Registry() *source.Registry { return s.reg }
+
 // report returns the (cached) generated report for a day, generating it
 // at most once even when many requests race on a cold day.
 func (s *Server) report(d dates.Date) *apnic.Report {
-	s.reportReqs.Add(1)
-	return s.reports.Get(d, func() *apnic.Report {
-		s.genCalls.Add(1)
-		return s.gen.Generate(d)
-	})
+	return s.apnicSrc.Report(d)
 }
 
 // rowIndex returns the day's (ASN, CC) → row-position map, built once
@@ -171,7 +206,9 @@ func (s *Server) rowIndex(d dates.Date) map[seriesKey]int32 {
 
 // routeLabel collapses request paths onto their route patterns so the
 // per-route metric series stay bounded no matter what clients request.
-func routeLabel(r *http.Request) string {
+// Dataset segments are kept only for registered datasets (a bounded set);
+// everything else collapses to "other".
+func (s *Server) routeLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch {
 	case strings.HasPrefix(p, "/v1/reports/"):
@@ -180,25 +217,335 @@ func routeLabel(r *http.Request) string {
 		return "/v1/series/:asn"
 	case p == "/v1/dates", p == "/healthz", p == "/metrics":
 		return p
-	default:
-		return "other"
 	}
+	if rest, ok := strings.CutPrefix(p, "/v1/"); ok {
+		name, tail, _ := strings.Cut(rest, "/")
+		if _, known := s.reg.Lookup(name); known {
+			switch {
+			case tail == "dates":
+				return "/v1/" + name + "/dates"
+			case strings.HasPrefix(tail, "reports/"):
+				return "/v1/" + name + "/reports/:date"
+			case strings.HasPrefix(tail, "series/"):
+				return "/v1/" + name + "/series/:key"
+			}
+		}
+	}
+	return "other"
 }
 
 // Handler returns the HTTP handler, instrumented with per-route metrics
 // and (when s.Log is set) request logging.
+//
+// Routing is two-tier because Go 1.22 mux precedence demands it: the
+// legacy literal patterns (/v1/reports/{date}) and the generic wildcard
+// patterns (/v1/{dataset}/dates) overlap with neither more specific, so
+// registering both in one mux panics. The outer mux owns the legacy
+// routes plus the /v1/ subtree; the subtree is strictly less specific
+// than every literal pattern, so legacy paths win and everything else
+// falls through to the generic inner mux.
 func (s *Server) Handler() http.Handler {
+	inner := http.NewServeMux()
+	inner.HandleFunc("GET /v1/{dataset}/dates", s.handleDatasetDates)
+	inner.HandleFunc("GET /v1/{dataset}/reports/{date}", s.handleDatasetReport)
+	inner.HandleFunc("GET /v1/{dataset}/series/{key}", s.handleDatasetSeries)
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET /v1/dates", s.handleDates)
-	mux.HandleFunc("GET /v1/reports/", s.handleReport)
-	mux.HandleFunc("GET /v1/series/", s.handleSeries)
+	mux.HandleFunc("GET /v1/reports/{date}", s.handleReport)
+	mux.HandleFunc("GET /v1/series/{asn}", s.handleSeries)
 	mux.Handle("GET /metrics", s.metrics.Handler())
-	mw := &obsv.HTTPMetrics{Registry: s.metrics, Log: s.Log, Route: routeLabel}
+	mux.Handle("/v1/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := inner.Handler(r); pattern == "" {
+			jsonError(w, http.StatusNotFound, "no such route")
+			return
+		}
+		// Serve through the mux (not the matched handler directly) so the
+		// inner patterns' path values are bound on the request.
+		inner.ServeHTTP(w, r)
+	}))
+	mw := &obsv.HTTPMetrics{Registry: s.metrics, Log: s.Log, Route: s.routeLabel}
 	return mw.Wrap(mux)
+}
+
+// errorBody is the JSON error shape of the generic dataset routes.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// jsonError writes a JSON error body, the contract of every generic
+// /v1/{dataset}/... route (legacy routes keep plain-text errors).
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+// lookupDataset resolves the {dataset} path segment, writing the
+// satellite JSON 404 when the name is unknown.
+func (s *Server) lookupDataset(w http.ResponseWriter, r *http.Request) (source.Source, bool) {
+	name := r.PathValue("dataset")
+	src, ok := s.reg.Lookup(name)
+	if !ok {
+		jsonError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown dataset %q (served: %s)", name, strings.Join(s.reg.Names(), ", ")))
+		return nil, false
+	}
+	return src, true
+}
+
+// DatasetDates is the /v1/{dataset}/dates response body.
+type DatasetDates struct {
+	Dataset string `json:"dataset"`
+	First   string `json:"first"`
+	Last    string `json:"last"`
+	Cadence string `json:"cadence"`
+}
+
+func (s *Server) handleDatasetDates(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.lookupDataset(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(DatasetDates{
+		Dataset: src.Name(),
+		First:   s.first.String(),
+		Last:    s.last.String(),
+		Cadence: src.Window().Cadence,
+	})
+}
+
+// handleDatasetReport serves one dataset-day: "{date}.csv" as frame CSV,
+// a bare "{date}" as frame JSON.
+func (s *Server) handleDatasetReport(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.lookupDataset(w, r)
+	if !ok {
+		return
+	}
+	name, wantCSV := strings.CutSuffix(r.PathValue("date"), ".csv")
+	d, err := dates.Parse(name)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "bad date (want YYYY-MM-DD or YYYY-MM-DD.csv)")
+		return
+	}
+	if d.Before(s.first) || d.After(s.last) {
+		jsonError(w, http.StatusNotFound, "date out of served range")
+		return
+	}
+	if wantCSV {
+		body, err := s.renderFrame(src.Name(), d)
+		if err != nil {
+			s.renderErrs.Inc()
+			if s.Log != nil {
+				s.Log.Printf("render error dataset=%s date=%s err=%q", src.Name(), d, err)
+			}
+			jsonError(w, http.StatusInternalServerError, "report generation failed: "+err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.Header().Set("Cache-Control", "public, max-age=86400")
+		w.Write(body)
+		return
+	}
+	f, err := s.reg.Frame(src.Name(), d)
+	if err != nil {
+		s.renderErrs.Inc()
+		jsonError(w, http.StatusInternalServerError, "report generation failed: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "public, max-age=86400")
+	f.WriteJSON(w)
+}
+
+// renderFrame returns the cached frame CSV for one dataset-day.
+func (s *Server) renderFrame(dataset string, d dates.Date) ([]byte, error) {
+	day := s.frames.Get(frameKey{dataset, d.DayNumber()}, func() csvDay {
+		f, err := s.reg.Frame(dataset, d)
+		if err != nil {
+			return csvDay{err: err}
+		}
+		var b bytes.Buffer
+		if err := f.WriteCSV(&b); err != nil {
+			// Rendering is deterministic in (seed, date); a failure would
+			// recur on every attempt, so caching it is sound.
+			return csvDay{err: err}
+		}
+		return csvDay{body: b.Bytes()}
+	})
+	return day.body, day.err
+}
+
+// GenericSeriesPoint is one date of a generic per-row series: every
+// numeric column of the matched row.
+type GenericSeriesPoint struct {
+	Date   string             `json:"date"`
+	Values map[string]float64 `json:"values"`
+}
+
+// GenericSeriesResponse is the /v1/{dataset}/series body.
+type GenericSeriesResponse struct {
+	Dataset string               `json:"dataset"`
+	Key     string               `json:"key"`
+	Country string               `json:"cc,omitempty"`
+	Points  []GenericSeriesPoint `json:"points"`
+}
+
+// seriesSelector maps a dataset's route key to the frame columns that
+// identify one row. Unified rule: itu rows are keyed by country alone
+// (the key IS the cc); apnic rows by (AS, cc); every per-(country, org)
+// dataset by (Org, cc).
+func seriesSelector(dataset, key, cc string) (map[string]string, string, error) {
+	switch dataset {
+	case "itu":
+		return map[string]string{"CC": key}, "", nil
+	case apnic.DatasetName:
+		asn, ok := strings.CutPrefix(key, "AS")
+		if !ok {
+			return nil, "", fmt.Errorf("want /v1/%s/series/AS<asn>", dataset)
+		}
+		if _, err := strconv.ParseUint(asn, 10, 32); err != nil {
+			return nil, "", fmt.Errorf("bad ASN")
+		}
+		if cc == "" {
+			return nil, "", fmt.Errorf("missing cc parameter")
+		}
+		return map[string]string{"AS": asn, "CC": cc}, cc, nil
+	default:
+		if cc == "" {
+			return nil, "", fmt.Errorf("missing cc parameter")
+		}
+		return map[string]string{"Org": key, "CC": cc}, cc, nil
+	}
+}
+
+// matchRow returns the index of the first row whose cells equal the
+// selector, or -1. Cells compare in codec form, so int columns match
+// their decimal strings.
+func matchRow(f *source.Frame, sel map[string]string) int {
+	cols := make([]*source.Column, 0, len(sel))
+	want := make([]string, 0, len(sel))
+	for name, v := range sel {
+		c := f.Col(name)
+		if c == nil {
+			return -1
+		}
+		cols = append(cols, c)
+		want = append(want, v)
+	}
+	for i := 0; i < f.Rows(); i++ {
+		hit := true
+		for j, c := range cols {
+			if c.Cell(i) != want[j] {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return i
+		}
+	}
+	return -1
+}
+
+// handleDatasetSeries serves a per-row time series for any dataset: the
+// generic analogue of the legacy per-AS series route.
+func (s *Server) handleDatasetSeries(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.lookupDataset(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	sel, cc, err := seriesSelector(src.Name(), r.PathValue("key"), q.Get("cc"))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	from, to, step, ok := s.seriesRange(q, func(code int, msg string) { jsonError(w, code, msg) })
+	if !ok {
+		return
+	}
+	resp := GenericSeriesResponse{Dataset: src.Name(), Key: r.PathValue("key"), Country: cc}
+	for _, d := range dates.Range(from, to, step) {
+		f, err := s.reg.Frame(src.Name(), d)
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		i := matchRow(f, sel)
+		if i < 0 {
+			continue
+		}
+		vals := map[string]float64{}
+		for _, c := range f.Cols {
+			if _, isKey := sel[c.Name]; isKey {
+				continue
+			}
+			switch c.Kind {
+			case source.Int:
+				vals[c.Name] = float64(c.Ints[i])
+			case source.Float:
+				vals[c.Name] = c.Floats[i]
+			}
+		}
+		resp.Points = append(resp.Points, GenericSeriesPoint{Date: d.String(), Values: vals})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// seriesRange parses and clips the shared from/to/step query parameters,
+// reporting errors through fail (legacy routes pass http.Error, generic
+// routes pass jsonError).
+func (s *Server) seriesRange(q url.Values, fail func(int, string)) (from, to dates.Date, step int, ok bool) {
+	var err error
+	from, to = s.first, s.last
+	if v := q.Get("from"); v != "" {
+		if from, err = dates.Parse(v); err != nil {
+			fail(http.StatusBadRequest, "bad from date")
+			return
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		if to, err = dates.Parse(v); err != nil {
+			fail(http.StatusBadRequest, "bad to date")
+			return
+		}
+	}
+	if from.After(to) {
+		// This used to fall through and return a silently empty series,
+		// indistinguishable from "row not present" — reject it instead.
+		fail(http.StatusBadRequest, "from is after to")
+		return
+	}
+	step = 1
+	if v := q.Get("step"); v != "" {
+		if step, err = strconv.Atoi(v); err != nil || step < 1 {
+			fail(http.StatusBadRequest, "bad step")
+			return
+		}
+	}
+	if from.Before(s.first) {
+		from = s.first
+	}
+	if to.After(s.last) {
+		to = s.last
+	}
+	if from.After(to) { // requested window entirely outside the served range
+		fail(http.StatusBadRequest, "range does not overlap the served dates")
+		return
+	}
+	const maxPoints = 120
+	if span := to.Sub(from)/step + 1; span > maxPoints {
+		fail(http.StatusBadRequest, fmt.Sprintf("too many points (max %d); raise step or narrow the range", maxPoints))
+		return
+	}
+	return from, to, step, true
 }
 
 // SeriesPoint is one day of the per-AS series response.
@@ -216,9 +563,11 @@ type SeriesResponse struct {
 }
 
 // handleSeries serves the per-(country, AS) daily series — the view the
-// paper's footnote 2 links for Bouygues Telecom on the real site.
+// paper's footnote 2 links for Bouygues Telecom on the real site. It is
+// the legacy alias of /v1/apnic/series/{asn}; its response shape and
+// error strings are pinned by the byte-identity tests.
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
-	name := strings.TrimPrefix(r.URL.Path, "/v1/series/")
+	name := r.PathValue("asn")
 	if !strings.HasPrefix(name, "AS") {
 		http.Error(w, "want /v1/series/AS<asn>", http.StatusNotFound)
 		return
@@ -234,45 +583,8 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing cc parameter", http.StatusBadRequest)
 		return
 	}
-	from, to := s.first, s.last
-	if v := q.Get("from"); v != "" {
-		if from, err = dates.Parse(v); err != nil {
-			http.Error(w, "bad from date", http.StatusBadRequest)
-			return
-		}
-	}
-	if v := q.Get("to"); v != "" {
-		if to, err = dates.Parse(v); err != nil {
-			http.Error(w, "bad to date", http.StatusBadRequest)
-			return
-		}
-	}
-	if from.After(to) {
-		// This used to fall through and return a silently empty series,
-		// indistinguishable from "AS not present" — reject it instead.
-		http.Error(w, "from is after to", http.StatusBadRequest)
-		return
-	}
-	step := 1
-	if v := q.Get("step"); v != "" {
-		if step, err = strconv.Atoi(v); err != nil || step < 1 {
-			http.Error(w, "bad step", http.StatusBadRequest)
-			return
-		}
-	}
-	if from.Before(s.first) {
-		from = s.first
-	}
-	if to.After(s.last) {
-		to = s.last
-	}
-	if from.After(to) { // requested window entirely outside the served range
-		http.Error(w, "range does not overlap the served dates", http.StatusBadRequest)
-		return
-	}
-	const maxPoints = 120
-	if span := to.Sub(from)/step + 1; span > maxPoints {
-		http.Error(w, fmt.Sprintf("too many points (max %d); raise step or narrow the range", maxPoints), http.StatusBadRequest)
+	from, to, step, ok := s.seriesRange(q, func(code int, msg string) { http.Error(w, msg, code) })
+	if !ok {
 		return
 	}
 
@@ -302,7 +614,7 @@ func (s *Server) handleDates(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	name := strings.TrimPrefix(r.URL.Path, "/v1/reports/")
+	name := r.PathValue("date")
 	if !strings.HasSuffix(name, ".csv") {
 		http.Error(w, "want /v1/reports/<YYYY-MM-DD>.csv", http.StatusNotFound)
 		return
@@ -463,4 +775,56 @@ func (c *Client) Report(ctx context.Context, d dates.Date) (*apnic.Report, error
 		return nil, fmt.Errorf("apnicweb: parsing %s: %w", d, err)
 	}
 	return rep, nil
+}
+
+// DatasetDates fetches one dataset's served range and cadence from the
+// generic /v1/{dataset}/dates route.
+func (c *Client) DatasetDates(ctx context.Context, dataset string) (DatasetDates, error) {
+	var dd DatasetDates
+	u, err := url.JoinPath(c.BaseURL, "/v1/", dataset, "/dates")
+	if err != nil {
+		return dd, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return dd, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return dd, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return dd, errorf(u, resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dd); err != nil {
+		return dd, fmt.Errorf("apnicweb: decoding %s dates: %w", dataset, err)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, errDrainLimit))
+	return dd, nil
+}
+
+// Frame fetches and parses one dataset-day from the generic CSV route.
+func (c *Client) Frame(ctx context.Context, dataset string, d dates.Date) (*source.Frame, error) {
+	u, err := url.JoinPath(c.BaseURL, "/v1/", dataset, "/reports/", d.String()+".csv")
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorf(u, resp)
+	}
+	f, err := source.ReadCSV(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("apnicweb: parsing %s %s: %w", dataset, d, err)
+	}
+	return f, nil
 }

@@ -255,11 +255,10 @@ func TestServerSingleflightHammer(t *testing.T) {
 		}
 	}
 
-	if n := srv.genCalls.Load(); int(n) != len(days) {
-		t.Errorf("generator ran %d times for %d distinct days; singleflight demands one each", n, len(days))
-	}
-	if n := srv.reports.Len(); n != len(days) {
-		t.Errorf("report cache holds %d days, want %d", n, len(days))
+	if st := srv.apnicSrc.CacheStats(); int(st.Gens) != len(days) {
+		t.Errorf("generator ran %d times for %d distinct days; singleflight demands one each", st.Gens, len(days))
+	} else if st.Len != len(days) {
+		t.Errorf("report cache holds %d days, want %d", st.Len, len(days))
 	}
 	for g := 1; g < goroutines; g++ {
 		for _, day := range days {
@@ -295,7 +294,7 @@ func TestServerRenderConcurrentDistinctDays(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if n := srv.genCalls.Load(); int(n) != len(days) {
+	if n := srv.apnicSrc.CacheStats().Gens; int(n) != len(days) {
 		t.Errorf("generator ran %d times for %d distinct days", n, len(days))
 	}
 	for i, d := range days {

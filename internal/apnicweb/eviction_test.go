@@ -43,13 +43,13 @@ func TestBoundedCacheEviction(t *testing.T) {
 	for i := 1; i < capacity*3; i++ { // push the first day out
 		get(dates.New(2024, 3, 1).AddDays(i))
 	}
-	if n := srv.reports.Len(); n > capacity {
+	if n := srv.apnicSrc.CacheStats().Len; n > capacity {
 		t.Fatalf("report cache holds %d days, capacity %d", n, capacity)
 	}
 	if n := srv.csv.Len(); n > capacity {
 		t.Fatalf("csv cache holds %d days, capacity %d", n, capacity)
 	}
-	if _, _, ev := srv.reports.Stats(); ev == 0 {
+	if ev := srv.apnicSrc.CacheStats().Evictions; ev == 0 {
 		t.Fatal("no report evictions after serving 3x capacity")
 	}
 
@@ -66,7 +66,7 @@ func TestBoundedCacheEviction(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	text := string(body)
 	for _, name := range []string{
-		"apnicweb_report_cache_evictions",
+		`source_cache_evictions{dataset="apnic"}`,
 		"apnicweb_csv_cache_evictions",
 		"apnicweb_index_cache_evictions",
 		"apnicweb_cache_capacity_days",
@@ -132,10 +132,10 @@ func TestBoundedCacheHammer(t *testing.T) {
 	}
 	wg.Wait()
 
-	if n := srv.reports.Len(); n > capacity {
+	if n := srv.apnicSrc.CacheStats().Len; n > capacity {
 		t.Fatalf("report cache holds %d days, capacity %d", n, capacity)
 	}
-	if _, _, ev := srv.reports.Stats(); ev == 0 {
+	if ev := srv.apnicSrc.CacheStats().Evictions; ev == 0 {
 		t.Fatal("hammer produced no evictions")
 	}
 }

@@ -29,7 +29,7 @@ func RunCountryChecks(l *Lab, cc string, d dates.Date) core.Report {
 	// Public cross-check: Kendall against the M-Lab month.
 	mlabKendall := math.NaN()
 	if l.MLab.Integrated(cc) {
-		ml := l.MLab.Generate(d)
+		ml := l.MLabData(d)
 		mlShares := ml.CountryShares(cc)
 		apnicShares := l.APNIC.CountryOrgShares(cc, d)
 		if len(mlShares) >= 3 && len(apnicShares) >= 3 {

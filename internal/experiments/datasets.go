@@ -16,9 +16,9 @@ import (
 func Table1(l *Lab) *Result {
 	rep := l.Report(PrimaryCDNDay)
 	snap := l.Snapshot(PrimaryCDNDay)
-	ix := l.IXP.Generate(PrimaryCDNDay)
-	ml := l.MLab.Generate(BroadbandDay)
-	bb := l.Broadband.Generate(BroadbandDay)
+	ix := l.IXPData(PrimaryCDNDay)
+	ml := l.MLabData(BroadbandDay)
+	bb := l.BroadbandData(BroadbandDay)
 
 	bbOrgs := 0
 	for _, row := range bb.Shares {

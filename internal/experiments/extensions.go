@@ -53,7 +53,7 @@ func ExtDrivers(l *Lab) *Result {
 func ExtTrafficModel(l *Lab) *Result {
 	rep := l.Report(PrimaryCDNDay)
 	snap := l.Snapshot(PrimaryCDNDay)
-	ix := l.IXP.Generate(PrimaryCDNDay)
+	ix := l.IXPData(PrimaryCDNDay)
 	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 
 	var ta, tx, tv []float64

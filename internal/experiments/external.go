@@ -41,7 +41,7 @@ func countryKendall(l *Lab, other func(cc string) map[string]float64, only func(
 // bin. Paper shape: the per-bin average rises monotonically — strong
 // public agreement predicts strong private agreement.
 func Figure9(l *Lab) *Result {
-	ml := l.MLab.Generate(BroadbandDay)
+	ml := l.MLabData(BroadbandDay)
 	snap := l.Snapshot(PrimaryCDNDay)
 
 	public := countryKendall(l, ml.CountryShares, l.MLab.Integrated)
@@ -114,7 +114,7 @@ func lastAvg(bins []core.KendallBin) float64 {
 func Figure10(l *Lab) *Result {
 	rep := l.Report(PrimaryCDNDay)
 	snap := l.Snapshot(PrimaryCDNDay)
-	ix := l.IXP.Generate(PrimaryCDNDay)
+	ix := l.IXPData(PrimaryCDNDay)
 	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 
 	// Within-country IXP capacity shares, so that all three quantities
@@ -233,7 +233,7 @@ func Figure10(l *Lab) *Result {
 // org's public IXP capacity and its (hidden) PNI capacity with the CDN.
 // Paper shape: R² ≈ 0.47 — a usable but coarse proxy.
 func Figure13(l *Lab) *Result {
-	ix := l.IXP.Generate(PrimaryCDNDay)
+	ix := l.IXPData(PrimaryCDNDay)
 	var xs, ys []float64
 	// Pairs() is sorted, so the regression's input order (and its float
 	// sums) cannot vary with map iteration.

@@ -15,11 +15,13 @@ import (
 	"repro/internal/broadband"
 	"repro/internal/cdn"
 	"repro/internal/dates"
+	"repro/internal/dnscount"
 	"repro/internal/itu"
 	"repro/internal/ixp"
 	"repro/internal/mlab"
 	"repro/internal/obsv"
 	"repro/internal/rir"
+	"repro/internal/source/bundle"
 	"repro/internal/syncx"
 	"repro/internal/world"
 )
@@ -61,17 +63,21 @@ type Lab struct {
 	CDN       *cdn.Generator
 	Broadband *broadband.Generator
 	MLab      *mlab.Generator
+	DNS       *dnscount.Generator
 	IXP       *ixp.Generator
 	RIR       *rir.Generator
 
-	// Metrics is the lab's observability registry. The day caches count
-	// their requests and generations here (the ad-hoc atomic counters
-	// this replaces reported generations only), RunAll records per-runner
-	// wall time into it, and cmd/experiments can dump it on exit.
-	Metrics *obsv.Registry
+	// Sources is the uniform dataset roster over the lab's generators.
+	// Every day artifact the runners consume resolves through its
+	// adapters, so memoization and per-dataset metrics are the same here
+	// as in the HTTP server (source_requests_total{dataset="apnic"}, ...).
+	Sources *bundle.Bundle
 
-	reports syncx.Cache[dates.Date, *apnic.Report]
-	snaps   syncx.Cache[dates.Date, *cdn.Snapshot]
+	// Metrics is the lab's observability registry. The source day caches
+	// count their requests and generations here, RunAll records
+	// per-runner wall time into it, and cmd/experiments can dump it on
+	// exit.
+	Metrics *obsv.Registry
 
 	// Shared traceroute artifacts: the AS graph and campaign are built at
 	// most once per lab, and each (day, traces) campaign run at most once.
@@ -79,12 +85,8 @@ type Lab struct {
 	campaigns syncx.Cache[struct{}, *astopo.Campaign]
 	pops      syncx.Cache[popKey, *astopo.Popularity]
 
-	reportReqs *obsv.Counter // APNIC day-cache lookups
-	reportGens *obsv.Counter // APNIC day generations (one per distinct day)
-	snapReqs   *obsv.Counter // CDN day-cache lookups
-	snapGens   *obsv.Counter // CDN day generations (one per distinct day)
-	popReqs    *obsv.Counter // path-popularity cache lookups
-	popGens    *obsv.Counter // campaign runs (one per distinct (day, traces))
+	popReqs *obsv.Counter // path-popularity cache lookups
+	popGens *obsv.Counter // campaign runs (one per distinct (day, traces))
 }
 
 // popKey identifies one memoized campaign result.
@@ -96,6 +98,12 @@ type popKey struct {
 // LabVantages is the vantage count of the lab's shared traceroute
 // campaign — ExtProxies' configuration (24 probes, ~70% western bias).
 const LabVantages = 24
+
+// LabCacheDays bounds each dataset's day cache. The simulated decade is
+// ~4100 days; holding them all preserves the previous behavior (each
+// distinct day generated exactly once per lab) while still putting a
+// ceiling on residency.
+const LabCacheDays = 4200
 
 // NewLab builds a world and all generators from one seed.
 func NewLab(seed uint64) *Lab {
@@ -109,46 +117,63 @@ func NewLab(seed uint64) *Lab {
 		CDN:       cdn.New(w, seed),
 		Broadband: broadband.New(w, seed),
 		MLab:      mlab.New(w, seed),
+		DNS:       dnscount.New(w, seed),
 		IXP:       ixp.New(w, seed),
 		RIR:       rir.New(w, seed),
 		Metrics:   obsv.NewRegistry(),
 	}
-	l.reportReqs = l.Metrics.Counter("lab_apnic_report_requests_total")
-	l.reportGens = l.Metrics.Counter("lab_apnic_report_generations_total")
-	l.snapReqs = l.Metrics.Counter("lab_cdn_snapshot_requests_total")
-	l.snapGens = l.Metrics.Counter("lab_cdn_snapshot_generations_total")
+	l.Sources = bundle.New(w, seed, bundle.Config{
+		Metrics:   l.Metrics,
+		CacheDays: LabCacheDays,
+		ITU:       l.ITU,
+		APNIC:     l.APNIC,
+		CDN:       l.CDN,
+		MLab:      l.MLab,
+		DNS:       l.DNS,
+		Broadband: l.Broadband,
+		IXP:       l.IXP,
+	})
 	l.popReqs = l.Metrics.Counter("lab_path_popularity_requests_total")
 	l.popGens = l.Metrics.Counter("lab_path_popularity_runs_total")
 	l.Metrics.GaugeFunc("lab_path_popularity_cache_entries", func() float64 { return float64(l.pops.Len()) })
-	l.Metrics.GaugeFunc("lab_apnic_report_cache_days", func() float64 { return float64(l.reports.Len()) })
-	l.Metrics.GaugeFunc("lab_cdn_snapshot_cache_days", func() float64 { return float64(l.snaps.Len()) })
-	l.Metrics.GaugeFunc("lab_apnic_report_cache_hits", func() float64 {
-		return float64(l.reportReqs.Value() - l.reportGens.Value())
-	})
-	l.Metrics.GaugeFunc("lab_cdn_snapshot_cache_hits", func() float64 {
-		return float64(l.snapReqs.Value() - l.snapGens.Value())
-	})
 	return l
 }
 
 // Report returns the cached APNIC report for a day, generating it at most
 // once even under concurrent access.
 func (l *Lab) Report(d dates.Date) *apnic.Report {
-	l.reportReqs.Inc()
-	return l.reports.Get(d, func() *apnic.Report {
-		l.reportGens.Inc()
-		return l.APNIC.Generate(d)
-	})
+	return l.Sources.APNIC.Report(d)
 }
 
 // Snapshot returns the cached CDN snapshot for a day, generating it at
 // most once even under concurrent access.
 func (l *Lab) Snapshot(d dates.Date) *cdn.Snapshot {
-	l.snapReqs.Inc()
-	return l.snaps.Get(d, func() *cdn.Snapshot {
-		l.snapGens.Inc()
-		return l.CDN.Generate(d)
-	})
+	return l.Sources.CDN.Snapshot(d)
+}
+
+// MLabData returns the cached M-Lab dataset for the month containing d.
+func (l *Lab) MLabData(d dates.Date) *mlab.Dataset {
+	return l.Sources.MLab.Dataset(d)
+}
+
+// DNSData returns the cached open-resolver query dataset for a day.
+func (l *Lab) DNSData(d dates.Date) *dnscount.Dataset {
+	return l.Sources.DNS.Dataset(d)
+}
+
+// BroadbandData returns the cached broadband survey for a day.
+func (l *Lab) BroadbandData(d dates.Date) *broadband.Dataset {
+	return l.Sources.Broadband.Dataset(d)
+}
+
+// IXPData returns the cached IXP registry scrape for a day.
+func (l *Lab) IXPData(d dates.Date) *ixp.Snapshot {
+	return l.Sources.IXP.Snapshot(d)
+}
+
+// ITUTable returns the cached per-country ITU table for a day.
+func (l *Lab) ITUTable(d dates.Date) *itu.Table {
+	return l.Sources.ITU.Table(d)
 }
 
 // Topology returns the lab's shared AS-relationship graph, built at most
@@ -183,7 +208,7 @@ func (l *Lab) PathPopularity(d dates.Date, tracesPerVantage int) *astopo.Popular
 // Under the singleflight contract each counter equals the number of
 // distinct days requested, no matter how many goroutines asked.
 func (l *Lab) CacheStats() (apnicDays, cdnDays int64) {
-	return l.reportGens.Value(), l.snapGens.Value()
+	return l.Sources.APNIC.CacheStats().Gens, l.Sources.CDN.CacheStats().Gens
 }
 
 // Result is one regenerated table or figure.

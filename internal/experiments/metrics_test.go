@@ -16,10 +16,10 @@ func TestLabMetrics(t *testing.T) {
 	l.Report(d)
 	l.Snapshot(d)
 
-	if got := l.Metrics.Counter("lab_apnic_report_requests_total").Value(); got != 2 {
+	if got := l.Metrics.Counter(`source_requests_total{dataset="apnic"}`).Value(); got != 2 {
 		t.Errorf("report requests = %d, want 2", got)
 	}
-	if got := l.Metrics.Counter("lab_apnic_report_generations_total").Value(); got != 1 {
+	if got := l.Metrics.Counter(`source_generations_total{dataset="apnic"}`).Value(); got != 1 {
 		t.Errorf("report generations = %d, want 1", got)
 	}
 	if a, c := l.CacheStats(); a != 1 || c != 1 {
@@ -46,8 +46,8 @@ func TestLabMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		`"lab_apnic_report_cache_hits": 1`,
-		`"lab_apnic_report_cache_days": 1`,
+		`"source_cache_hits{dataset=\"apnic\"}": 1`,
+		`"source_cache_days{dataset=\"apnic\"}": 1`,
 		`"experiment_runner_seconds{runner=\"Synthetic\"}"`,
 	} {
 		if !strings.Contains(b.String(), want) {

@@ -5,7 +5,6 @@ import (
 	"math"
 	"strings"
 
-	"repro/internal/dnscount"
 	"repro/internal/orgs"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -29,8 +28,8 @@ import (
 func ExtProxies(l *Lab) *Result {
 	rep := l.Report(PrimaryCDNDay)
 	snap := l.Snapshot(PrimaryCDNDay)
-	ix := l.IXP.Generate(PrimaryCDNDay)
-	dns := dnscount.New(l.W, l.Seed).Generate(PrimaryCDNDay)
+	ix := l.IXPData(PrimaryCDNDay)
+	dns := l.DNSData(PrimaryCDNDay)
 
 	campaign := l.Campaign()
 	popularity := l.PathPopularity(PrimaryCDNDay, 150)

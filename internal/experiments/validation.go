@@ -18,7 +18,7 @@ import (
 // negative R² for a handful (Russia, Brazil, Korea, Japan, Poland in the
 // paper's table), and mobile-heavy carriers overrepresented in APNIC.
 func Figure2(l *Lab) *Result {
-	bb := l.Broadband.Generate(BroadbandDay)
+	bb := l.BroadbandData(BroadbandDay)
 	rep := l.Report(BroadbandDay)
 	apnicUsers := rep.OrgUsersCached(l.W.Registry)
 

@@ -1,0 +1,134 @@
+package source
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dates"
+)
+
+func sampleFrame() *Frame {
+	f := NewFrame("sample", dates.New(2024, 4, 21))
+	f.AddMeta("window-days", "60")
+	f.AddMeta("note", "quoted, cell")
+	cc := f.AddStrings("CC")
+	cc.Strs = []string{"DE", "FR", "T1"}
+	n := f.AddInts("Samples")
+	n.Ints = []int64{120, -4, 1 << 61}
+	u := f.AddFloats("Users")
+	u.Floats = []float64{1234.5, 0.000125, 2.0e7}
+	name := f.AddStrings("AS Name")
+	name.Strs = []string{`Deutsche "Telekom"`, "Bouygues, SA", "plain"}
+	return f
+}
+
+func TestCSVRoundTripIdempotent(t *testing.T) {
+	f := sampleFrame()
+	var first bytes.Buffer
+	if err := f.WriteCSV(&first); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadCSV(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(g) {
+		t.Fatalf("frame changed across CSV round trip:\n%+v\nvs\n%+v", f, g)
+	}
+	var second bytes.Buffer
+	if err := g.WriteCSV(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("re-serialized CSV differs:\n%q\nvs\n%q", first.String(), second.String())
+	}
+}
+
+func TestJSONRoundTripIdempotent(t *testing.T) {
+	f := sampleFrame()
+	var first bytes.Buffer
+	if err := f.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadJSON(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(g) {
+		t.Fatalf("frame changed across JSON round trip:\n%+v\nvs\n%+v", f, g)
+	}
+	var second bytes.Buffer
+	if err := g.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("re-serialized JSON differs:\n%q\nvs\n%q", first.String(), second.String())
+	}
+}
+
+func TestFloatCellsRoundTripExactly(t *testing.T) {
+	f := NewFrame("floats", dates.New(2024, 1, 1))
+	c := f.AddFloats("v")
+	c.Floats = []float64{math.Pi, 1e-300, 6.02214076e23, math.MaxFloat64, 1.0 / 3.0}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range c.Floats {
+		if got := g.Col("v").Floats[i]; got != v {
+			t.Errorf("float %d: %v -> %v (bits lost)", i, v, got)
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"no magic":     "Rank,AS\n1,2\n",
+		"bad date":     "#source,x,date,not-a-date\nA:int\n1\n",
+		"odd meta":     "#source,x,date,2024-01-01,dangling\nA:int\n1\n",
+		"no kind tag":  "#source,x,date,2024-01-01\nColumn\nv\n",
+		"unknown kind": "#source,x,date,2024-01-01\nA:decimal\n1\n",
+		"bad int cell": "#source,x,date,2024-01-01\nA:int\nxyz\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadCSV accepted %q", name, in)
+		}
+	}
+}
+
+func TestFrameCheck(t *testing.T) {
+	f := NewFrame("x", dates.New(2024, 1, 1))
+	a := f.AddInts("A")
+	a.Ints = []int64{1, 2}
+	b := f.AddInts("B")
+	b.Ints = []int64{1}
+	if err := f.Check(); err == nil {
+		t.Error("Check accepted ragged columns")
+	}
+	b.Ints = append(b.Ints, 2)
+	if err := f.Check(); err != nil {
+		t.Errorf("Check rejected a valid frame: %v", err)
+	}
+	f.AddInts("A")
+	if err := f.Check(); err == nil {
+		t.Error("Check accepted duplicate column names")
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{First: dates.New(2024, 1, 1), Last: dates.New(2024, 12, 31), Cadence: CadenceDaily}
+	if !w.Contains(dates.New(2024, 6, 1)) || !w.Contains(w.First) || !w.Contains(w.Last) {
+		t.Error("window excludes interior or boundary dates")
+	}
+	if w.Contains(dates.New(2023, 12, 31)) || w.Contains(dates.New(2025, 1, 1)) {
+		t.Error("window includes exterior dates")
+	}
+}

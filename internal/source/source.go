@@ -1,0 +1,119 @@
+package source
+
+import (
+	"fmt"
+
+	"repro/internal/dates"
+	"repro/internal/obsv"
+	"repro/internal/syncx"
+)
+
+// Cadence describes how often a dataset's contents actually change.
+const (
+	CadenceDaily   = "daily"   // a new artifact every day (apnic, cdn, dnscount)
+	CadenceWeekly  = "weekly"  // revised weekly, addressable daily (itu)
+	CadenceMonthly = "monthly" // one artifact per month (mlab)
+	CadenceSurvey  = "survey"  // hand-collected; any date yields the survey as of then (broadband)
+	CadenceScrape  = "scrape"  // registry scrape; any date yields the state as of then (ixp)
+)
+
+// Span of the synthetic world's simulated history: the default serving
+// window every source reports. The APNIC archive starts 2013-11-01 (the
+// paper's earliest pull) and the simulation runs through 2024.
+var (
+	SpanFirst = dates.New(2013, 11, 1)
+	SpanLast  = dates.New(2024, 12, 31)
+)
+
+// Window describes the dates a source covers and how often its contents
+// change.
+type Window struct {
+	First   dates.Date `json:"first"`
+	Last    dates.Date `json:"last"`
+	Cadence string     `json:"cadence"`
+}
+
+// Contains reports whether d falls inside the window.
+func (w Window) Contains(d dates.Date) bool {
+	return !d.Before(w.First) && !d.After(w.Last)
+}
+
+// Source is one dataset simulator seen through the uniform lens: a name,
+// a covered window, and a day-keyed frame generator. Adapters in each
+// simulator package implement it over the package's rich native type,
+// converting at this boundary; Generate must be a pure function of
+// (adapter construction, date) so caches may treat frames as immutable.
+type Source interface {
+	Name() string
+	Window() Window
+	Generate(d dates.Date) *Frame
+}
+
+// CacheStats is one day cache's activity snapshot.
+type CacheStats struct {
+	Reqs, Gens              int64 // lookups and singleflight fills
+	Hits, Misses, Evictions int64 // LRU accounting (Reqs = Hits + Misses)
+	Len, Cap                int   // resident days and capacity
+}
+
+// Days is the uniform bounded day cache every dataset artifact sits
+// behind: per-day singleflight fills, LRU eviction, and per-dataset
+// metrics on a shared registry. It replaces the ad-hoc per-consumer
+// caches (Lab's syncx.Cache fields, apnicweb's report LRU) so
+// memoization and metrics behave identically across all seven datasets.
+type Days[T any] struct {
+	lru  *syncx.LRU[int, T]
+	reqs *obsv.Counter
+	gens *obsv.Counter
+}
+
+// NewDays returns a day cache holding at most capacity days, reporting
+// into metrics under the bounded dataset label. prefix distinguishes
+// cache layers ("source" for native artifacts, "source_frame" for the
+// registry's frame layer).
+func NewDays[T any](metrics *obsv.Registry, prefix, dataset string, capacity int) *Days[T] {
+	if metrics == nil {
+		metrics = obsv.NewRegistry()
+	}
+	label := fmt.Sprintf("{dataset=%q}", dataset)
+	c := &Days[T]{
+		lru:  syncx.NewLRU[int, T](capacity),
+		reqs: metrics.Counter(prefix + "_requests_total" + label),
+		gens: metrics.Counter(prefix + "_generations_total" + label),
+	}
+	metrics.GaugeFunc(prefix+"_cache_days"+label, func() float64 { return float64(c.lru.Len()) })
+	metrics.GaugeFunc(prefix+"_cache_capacity"+label, func() float64 { return float64(c.lru.Cap()) })
+	metrics.GaugeFunc(prefix+"_cache_hits"+label, func() float64 {
+		h, _, _ := c.lru.Stats()
+		return float64(h)
+	})
+	metrics.GaugeFunc(prefix+"_cache_misses"+label, func() float64 {
+		_, m, _ := c.lru.Stats()
+		return float64(m)
+	})
+	metrics.GaugeFunc(prefix+"_cache_evictions"+label, func() float64 {
+		_, _, e := c.lru.Stats()
+		return float64(e)
+	})
+	return c
+}
+
+// Get returns the cached artifact for a day, filling it at most once
+// while the day stays resident even under concurrent callers.
+func (c *Days[T]) Get(d dates.Date, fill func(dates.Date) T) T {
+	c.reqs.Inc()
+	return c.lru.Get(d.DayNumber(), func() T {
+		c.gens.Inc()
+		return fill(d)
+	})
+}
+
+// Stats returns the cache's activity snapshot.
+func (c *Days[T]) Stats() CacheStats {
+	h, m, e := c.lru.Stats()
+	return CacheStats{
+		Reqs: c.reqs.Value(), Gens: c.gens.Value(),
+		Hits: h, Misses: m, Evictions: e,
+		Len: c.lru.Len(), Cap: c.lru.Cap(),
+	}
+}
