@@ -28,10 +28,19 @@
 // histograms appear on /metrics alongside the cache and render-error
 // series. Errors on generic routes carry a JSON body; legacy routes keep
 // their original plain-text errors.
+//
+// Report routes exploit day immutability (every dataset-day is a pure
+// function of (seed, date)): responses carry strong ETags derived from
+// the frame content hash, If-None-Match revalidation answers 304 without
+// rendering, Accept-Encoding negotiates gzip bodies out of a bounded
+// pre-compressed hot-day cache, and identity CSV/JSON bodies stream
+// row-by-row without materializing the rendered report. See
+// conditional.go and serveImmutable.
 package apnicweb
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -79,11 +88,21 @@ type Server struct {
 	metrics  *obsv.Registry
 	writeCSV func(*apnic.Report, io.Writer) error // seam for render-failure tests
 
-	csv    *syncx.LRU[dates.Date, csvDay]              // legacy APNIC CSV per day
-	index  *syncx.LRU[dates.Date, map[seriesKey]int32] // (ASN, CC) → row position per day
-	frames *syncx.LRU[frameKey, csvDay]                // generic frame CSV per (dataset, day)
+	// Streaming seams: the identity CSV/JSON report paths write the frame
+	// straight to the client; tests inject mid-stream failures here.
+	writeFrameCSV  func(*source.Frame, io.Writer) error
+	writeFrameJSON func(*source.Frame, io.Writer) error
 
-	renderErrs *obsv.Counter
+	csv   *syncx.LRU[dates.Date, csvDay]              // legacy APNIC CSV per day
+	index *syncx.LRU[dates.Date, map[seriesKey]int32] // (ASN, CC) → row position per day
+	etags *syncx.LRU[frameKey, string]                // frame content hash per (dataset, day)
+	gzips *syncx.LRU[gzKey, csvDay]                   // pre-compressed hot-day bodies
+
+	renderErrs   *obsv.Counter
+	streamAborts *obsv.Counter
+	notModified  *obsv.Counter
+	encGzip      *obsv.Counter
+	encIdentity  *obsv.Counter
 }
 
 // DefaultCacheDays bounds each day cache when NewServer is used: a year
@@ -93,13 +112,23 @@ const DefaultCacheDays = 365
 
 type csvDay struct {
 	body []byte
+	etag string // content hash of the identity body (legacy cache only)
 	err  error
 }
 
-// frameKey identifies one rendered frame CSV in the generic cache.
+// frameKey identifies one dataset-day artifact in the generic caches.
 type frameKey struct {
 	dataset string
 	day     int // dates.Date.DayNumber()
+}
+
+// gzKey identifies one pre-compressed representation: the repr
+// distinguishes codecs ("csv", "json", "legacy") because the same
+// dataset-day compresses to different bytes under each.
+type gzKey struct {
+	repr    string
+	dataset string
+	day     int
 }
 
 // seriesKey identifies one row of a day's report: the paper's
@@ -140,20 +169,28 @@ func newServer(reg *source.Registry, apnicSrc *apnic.Source, first, last dates.D
 	if cacheDays < 1 {
 		cacheDays = 1
 	}
+	rosterCap := cacheDays * max(1, len(reg.Names()))
 	s := &Server{
-		reg:      reg,
-		apnicSrc: apnicSrc,
-		first:    first,
-		last:     last,
-		metrics:  metrics,
-		writeCSV: (*apnic.Report).WriteCSV,
-		csv:      syncx.NewLRU[dates.Date, csvDay](cacheDays),
-		index:    syncx.NewLRU[dates.Date, map[seriesKey]int32](cacheDays),
-		// One day-budget per dataset: the generic cache serves the whole
-		// roster, so its capacity scales with the roster size.
-		frames: syncx.NewLRU[frameKey, csvDay](cacheDays * max(1, len(reg.Names()))),
+		reg:            reg,
+		apnicSrc:       apnicSrc,
+		first:          first,
+		last:           last,
+		metrics:        metrics,
+		writeCSV:       (*apnic.Report).WriteCSV,
+		writeFrameCSV:  (*source.Frame).WriteCSV,
+		writeFrameJSON: (*source.Frame).WriteJSON,
+		csv:            syncx.NewLRU[dates.Date, csvDay](cacheDays),
+		index:          syncx.NewLRU[dates.Date, map[seriesKey]int32](cacheDays),
+		// One day-budget per dataset: the generic caches serve the whole
+		// roster, so their capacity scales with the roster size.
+		etags: syncx.NewLRU[frameKey, string](rosterCap),
+		gzips: syncx.NewLRU[gzKey, csvDay](rosterCap),
 	}
 	s.renderErrs = s.metrics.Counter("apnicweb_render_errors_total")
+	s.streamAborts = s.metrics.Counter("apnicweb_stream_aborts_total")
+	s.notModified = s.metrics.Counter("apnicweb_not_modified_total")
+	s.encGzip = s.metrics.Counter(`apnicweb_responses_total{encoding="gzip"}`)
+	s.encIdentity = s.metrics.Counter(`apnicweb_responses_total{encoding="identity"}`)
 	// Cache counters live in the LRUs on the hot path and are surfaced as
 	// gauges at scrape time, so serving cost stays flat. The native
 	// report cache's series (source_cache_*{dataset="apnic"}, ...) are
@@ -168,11 +205,12 @@ func newServer(reg *source.Registry, apnicSrc *apnic.Source, first, last dates.D
 		return float64(e)
 	})
 	s.metrics.GaugeFunc("apnicweb_csv_cache_days", func() float64 { return float64(s.csv.Len()) })
-	s.metrics.GaugeFunc("apnicweb_frame_cache_days", func() float64 { return float64(s.frames.Len()) })
-	s.metrics.GaugeFunc("apnicweb_frame_cache_evictions", func() float64 {
-		_, _, e := s.frames.Stats()
+	s.metrics.GaugeFunc("apnicweb_gzip_cache_days", func() float64 { return float64(s.gzips.Len()) })
+	s.metrics.GaugeFunc("apnicweb_gzip_cache_evictions", func() float64 {
+		_, _, e := s.gzips.Stats()
 		return float64(e)
 	})
+	s.metrics.GaugeFunc("apnicweb_etag_cache_days", func() float64 { return float64(s.etags.Len()) })
 	return s
 }
 
@@ -321,7 +359,10 @@ func (s *Server) handleDatasetDates(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDatasetReport serves one dataset-day: "{date}.csv" as frame CSV,
-// a bare "{date}" as frame JSON.
+// a bare "{date}" as frame JSON. Both representations carry a strong
+// ETag derived from the frame content hash and negotiate gzip through
+// serveImmutable; identity bodies stream row-by-row and are never
+// materialized server-side.
 func (s *Server) handleDatasetReport(w http.ResponseWriter, r *http.Request) {
 	src, ok := s.lookupDataset(w, r)
 	if !ok {
@@ -337,46 +378,167 @@ func (s *Server) handleDatasetReport(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusNotFound, "date out of served range")
 		return
 	}
-	if wantCSV {
-		body, err := s.renderFrame(src.Name(), d)
-		if err != nil {
-			s.renderErrs.Inc()
-			if s.Log != nil {
-				s.Log.Printf("render error dataset=%s date=%s err=%q", src.Name(), d, err)
-			}
-			jsonError(w, http.StatusInternalServerError, "report generation failed: "+err.Error())
-			return
-		}
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		w.Header().Set("Cache-Control", "public, max-age=86400")
-		w.Write(body)
-		return
-	}
 	f, err := s.reg.Frame(src.Name(), d)
+	if err == nil {
+		// Pre-flight the frame shape before any byte is written: once the
+		// stream starts, a failure can only abort the connection, so every
+		// error detectable up front must become a clean 500 here.
+		err = f.Check()
+	}
 	if err != nil {
 		s.renderErrs.Inc()
+		if s.Log != nil {
+			s.Log.Printf("render error dataset=%s date=%s err=%q", src.Name(), d, err)
+		}
 		jsonError(w, http.StatusInternalServerError, "report generation failed: "+err.Error())
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Cache-Control", "public, max-age=86400")
-	f.WriteJSON(w)
+	repr, contentType, write := "csv", "text/csv; charset=utf-8", s.writeFrameCSV
+	if !wantCSV {
+		repr, contentType, write = "json", "application/json", s.writeFrameJSON
+	}
+	s.serveImmutable(w, r, immutableBody{
+		repr:        repr,
+		dataset:     src.Name(),
+		day:         d,
+		contentType: contentType,
+		hash:        s.frameHash(src.Name(), d, f),
+		stream:      func(w io.Writer) error { return write(f, w) },
+		fail: func(code int, msg string) {
+			s.renderErrs.Inc()
+			jsonError(w, code, msg)
+		},
+	})
 }
 
-// renderFrame returns the cached frame CSV for one dataset-day.
-func (s *Server) renderFrame(dataset string, d dates.Date) ([]byte, error) {
-	day := s.frames.Get(frameKey{dataset, d.DayNumber()}, func() csvDay {
-		f, err := s.reg.Frame(dataset, d)
+// frameHash memoizes the frame content hash per (dataset, day). Hashing
+// is much cheaper than rendering (no per-cell formatting) but still
+// O(cells), so a hot day pays it once while resident.
+func (s *Server) frameHash(dataset string, d dates.Date, f *source.Frame) string {
+	return s.etags.Get(frameKey{dataset, d.DayNumber()}, f.ContentHash)
+}
+
+// immutableBody describes one immutable dataset-day representation for
+// serveImmutable: a pre-rendered identity body (legacy CSV, whose bytes
+// are cached anyway for the byte-identity contract) or a streamable
+// render (generic frame routes). Exactly one of body and stream is set.
+type immutableBody struct {
+	repr        string // representation key: "csv", "json", "legacy"
+	dataset     string
+	day         dates.Date
+	contentType string
+	hash        string                // content hash, the ETag base
+	body        []byte                // identity bytes, when already materialized
+	stream      func(io.Writer) error // identity streamer otherwise
+	fail        func(code int, msg string)
+}
+
+// serveImmutable finishes a report response: ETag / If-None-Match
+// validation, Accept-Encoding negotiation, the bounded pre-compressed
+// cache for gzip bodies, and row-streamed identity bodies.
+//
+// Ordering is load-bearing. The 304 check runs before any rendering so a
+// revalidation costs one memoized hash lookup. The gzip body is rendered
+// into the cache from the frame — never teed off a live response — so a
+// mid-download disconnect cannot poison it. The identity stream writes
+// last, after every fallible step, because once it starts the only
+// honest way to report failure is aborting the connection (streamBody).
+func (s *Server) serveImmutable(w http.ResponseWriter, r *http.Request, b immutableBody) {
+	gz := acceptsGzip(r.Header.Get("Accept-Encoding"))
+	variant := b.repr
+	if gz {
+		variant += ".gz"
+	}
+	etag := source.FormatETag(b.hash, variant)
+	h := w.Header()
+	h.Set("Vary", "Accept-Encoding")
+	h.Set("ETag", etag)
+	h.Set("Cache-Control", "public, max-age=86400")
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		s.notModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", b.contentType)
+	if gz {
+		body, err := s.gzipBody(b)
 		if err != nil {
+			if s.Log != nil {
+				s.Log.Printf("gzip render error dataset=%s repr=%s date=%s err=%q", b.dataset, b.repr, b.day, err)
+			}
+			// Strip the success-only headers: a 500 carrying a public
+			// max-age Cache-Control (or a validator) could get cached.
+			h.Del("ETag")
+			h.Del("Cache-Control")
+			h.Del("Vary")
+			h.Del("Content-Type")
+			b.fail(http.StatusInternalServerError, "report generation failed: "+err.Error())
+			return
+		}
+		h.Set("Content-Encoding", "gzip")
+		// The compressed body is materialized (that is the point of the
+		// hot-day cache), so its length is known and safe to declare.
+		h.Set("Content-Length", strconv.Itoa(len(body)))
+		s.encGzip.Inc()
+		w.Write(body)
+		return
+	}
+	s.encIdentity.Inc()
+	if b.body != nil {
+		// Content-Length is deliberately not set: net/http chunks large
+		// bodies exactly as it did before the conditional layer existed,
+		// keeping the legacy responses byte-identical on the wire.
+		w.Write(b.body)
+		return
+	}
+	s.streamBody(w, b)
+}
+
+// streamBody writes an identity body row-by-row. The whole rendered
+// report never exists in server memory — the CSV/JSON writers flush
+// through their small encoder buffers straight into the chunked response.
+//
+// A mid-stream failure cannot change the status code (it is already on
+// the wire as 200) and must not be papered over: returning normally would
+// let net/http write the terminating zero-length chunk, making the
+// truncated body indistinguishable from a complete one. Panicking with
+// http.ErrAbortHandler instead drops the connection so the client's read
+// fails — the HTTP-shaped version of "crash, don't corrupt".
+func (s *Server) streamBody(w http.ResponseWriter, b immutableBody) {
+	if err := b.stream(w); err != nil {
+		s.streamAborts.Inc()
+		if s.Log != nil {
+			s.Log.Printf("stream abort dataset=%s repr=%s date=%s err=%q", b.dataset, b.repr, b.day, err)
+		}
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// gzipBody returns the cached gzip representation, rendering and
+// compressing it at most once per (repr, dataset, day) while resident.
+// The fill renders from the immutable artifact, never from a client
+// connection, so partial client reads cannot poison the cache; and gzip
+// output is deterministic for a fixed input and level, so a refill after
+// eviction is byte-identical.
+func (s *Server) gzipBody(b immutableBody) ([]byte, error) {
+	day := s.gzips.Get(gzKey{b.repr, b.dataset, b.day.DayNumber()}, func() csvDay {
+		var buf bytes.Buffer
+		zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+		var err error
+		if b.body != nil {
+			_, err = zw.Write(b.body)
+		} else {
+			err = b.stream(zw)
+		}
+		if cerr := zw.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			// Deterministic render: the failure recurs on every attempt,
+			// so caching it is sound (and repeat requests see one message).
 			return csvDay{err: err}
 		}
-		var b bytes.Buffer
-		if err := f.WriteCSV(&b); err != nil {
-			// Rendering is deterministic in (seed, date); a failure would
-			// recur on every attempt, so caching it is sound.
-			return csvDay{err: err}
-		}
-		return csvDay{body: b.Bytes()}
+		return csvDay{body: buf.Bytes()}
 	})
 	return day.body, day.err
 }
@@ -628,7 +790,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "date out of served range", http.StatusNotFound)
 		return
 	}
-	body, err := s.render(d)
+	body, hash, err := s.render(d)
 	if err != nil {
 		// The old handler swallowed err here, leaving operators with an
 		// opaque 500 and no counter to alert on.
@@ -639,12 +801,24 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "report generation failed: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-	w.Header().Set("Cache-Control", "public, max-age=86400")
-	w.Write(body)
+	// The identity body stays the cached native render, byte-identical to
+	// the pre-conditional server; the "legacy" repr keys a separate gzip
+	// cache slot because these bytes differ from the frame-CSV codec's.
+	s.serveImmutable(w, r, immutableBody{
+		repr:        "legacy",
+		dataset:     apnic.DatasetName,
+		day:         d,
+		contentType: "text/csv; charset=utf-8",
+		hash:        hash,
+		body:        body,
+		fail: func(code int, msg string) {
+			s.renderErrs.Inc()
+			http.Error(w, msg, code)
+		},
+	})
 }
 
-func (s *Server) render(d dates.Date) ([]byte, error) {
+func (s *Server) render(d dates.Date) ([]byte, string, error) {
 	day := s.csv.Get(d, func() csvDay {
 		var b strings.Builder
 		if err := s.writeCSV(s.report(d), &b); err != nil {
@@ -653,9 +827,12 @@ func (s *Server) render(d dates.Date) ([]byte, error) {
 			// repeat requests must see the same error, not a flap.
 			return csvDay{err: err}
 		}
-		return csvDay{body: []byte(b.String())}
+		body := []byte(b.String())
+		// Hash once at fill: the legacy route's canonical artifact is the
+		// body itself, so its validator comes from the bytes, not a frame.
+		return csvDay{body: body, etag: bodyHash(body)}
 	})
-	return day.body, day.err
+	return day.body, day.etag, day.err
 }
 
 // errBodyLimit caps how much of a non-200 response body the client reads

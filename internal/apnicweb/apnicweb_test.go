@@ -285,7 +285,7 @@ func TestServerRenderConcurrentDistinctDays(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			b, err := srv.render(d)
+			b, _, err := srv.render(d)
 			if err != nil {
 				t.Errorf("render(%v): %v", d, err)
 				return
@@ -298,7 +298,7 @@ func TestServerRenderConcurrentDistinctDays(t *testing.T) {
 		t.Errorf("generator ran %d times for %d distinct days", n, len(days))
 	}
 	for i, d := range days {
-		again, err := srv.render(d)
+		again, _, err := srv.render(d)
 		if err != nil {
 			t.Fatal(err)
 		}

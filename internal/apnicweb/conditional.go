@@ -1,0 +1,102 @@
+package apnicweb
+
+// Conditional GETs and response compression for the report routes.
+//
+// Every dataset-day is a pure function of (seed, date): once generated
+// its bytes never change, which makes the report routes ideal for strong
+// validators. The server derives an ETag from the frame's content hash
+// (internal/source's ContentHash — computable from the in-memory frame
+// without rendering a body), suffixed by the representation variant
+// ("csv", "csv.gz", "json", ...) so a strong tag never aliases two
+// different byte streams. If-None-Match is evaluated with the RFC 9110
+// weak comparison (W/ prefixes ignored, "*" matches anything), so a 304
+// costs one LRU lookup and zero rendering.
+//
+// Compression is negotiated from Accept-Encoding (q-values honored).
+// Gzip bodies are rendered once per (representation, dataset, day) into a
+// bounded LRU — the "pre-compressed hot-day cache" — and always from the
+// cached frame, never from a live client stream, so a client that
+// disconnects mid-response can never poison the cache with a truncated
+// body. Identity CSV/JSON responses stream row-by-row instead (see
+// streamBody in apnicweb.go) and are deliberately not byte-cached.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+)
+
+// etagMatch reports whether any entity tag in an If-None-Match header
+// value matches etag, using the weak comparison If-None-Match requires
+// (RFC 9110 §13.1.2): W/ prefixes are ignored on both sides and "*"
+// matches any current representation. A missing header never matches.
+func etagMatch(ifNoneMatch, etag string) bool {
+	ifNoneMatch = strings.TrimSpace(ifNoneMatch)
+	if ifNoneMatch == "" {
+		return false
+	}
+	if ifNoneMatch == "*" {
+		return true
+	}
+	want := strings.TrimPrefix(etag, "W/")
+	// Our tags are quoted hex with no embedded commas, so a comma split is
+	// an exact field separation for any list a client can echo back.
+	for _, tag := range strings.Split(ifNoneMatch, ",") {
+		tag = strings.TrimSpace(tag)
+		tag = strings.TrimPrefix(tag, "W/")
+		if tag == want {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding header
+// permits a gzip-coded response: a "gzip" (or "*") entry whose q-value is
+// not zero. An absent header means identity only — proxies that strip
+// Accept-Encoding must get uncompressed bytes.
+func acceptsGzip(acceptEncoding string) bool {
+	for _, part := range strings.Split(acceptEncoding, ",") {
+		coding, params, _ := strings.Cut(part, ";")
+		coding = strings.ToLower(strings.TrimSpace(coding))
+		if coding != "gzip" && coding != "x-gzip" && coding != "*" {
+			continue
+		}
+		if q, ok := qValue(params); ok && q == 0 {
+			if coding != "*" {
+				return false // explicit "gzip;q=0" refusal
+			}
+			continue // "*;q=0" refuses the wildcard, not gzip itself
+		}
+		return true
+	}
+	return false
+}
+
+// qValue parses the q parameter out of an Accept-Encoding member's
+// parameter string (";q=0.5"). Returns ok=false when no q is present
+// (which HTTP treats as q=1).
+func qValue(params string) (float64, bool) {
+	for _, p := range strings.Split(params, ";") {
+		k, v, found := strings.Cut(strings.TrimSpace(p), "=")
+		if !found || !strings.EqualFold(strings.TrimSpace(k), "q") {
+			continue
+		}
+		q, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil || q < 0 {
+			return 1, true // malformed q: keep the coding acceptable
+		}
+		return q, true
+	}
+	return 0, false
+}
+
+// bodyHash returns the content hash of an already-rendered body, in the
+// same hex shape as source.Frame.ContentHash, for routes (the legacy
+// APNIC CSV) whose canonical artifact is the byte body rather than a
+// frame.
+func bodyHash(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dates"
+)
+
+func testModelCfg() ModelConfig {
+	return ModelConfig{
+		Datasets:       []string{"apnic", "cdn", "itu"},
+		First:          dates.New(2024, 1, 1),
+		Last:           dates.New(2024, 12, 31),
+		ZipfS:          1.3,
+		HotDayHalfLife: 7,
+		GzipFraction:   0.5,
+		CondFraction:   0.3,
+		SeriesPaths:    []string{"/v1/series/AS1?cc=FR&from=2024-06-01&to=2024-06-05"},
+	}
+}
+
+// TestModelDeterministic: the same seed must replay the identical request
+// stream — the property that makes load runs comparable across commits.
+func TestModelDeterministic(t *testing.T) {
+	a, err := NewModel(42, testModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewModel(42, testModelCfg())
+	c, _ := NewModel(43, testModelCfg())
+	var diverged bool
+	for i := 0; i < 500; i++ {
+		ra, rb, rc := a.Next(), b.Next(), c.Next()
+		if ra != rb {
+			t.Fatalf("request %d diverged under one seed: %+v vs %+v", i, ra, rb)
+		}
+		if ra != rc {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("seeds 42 and 43 produced identical 500-request streams")
+	}
+}
+
+// TestModelShape draws a large sample and checks the distributional
+// promises: every path is well-formed and in-window, rank-0 dominates
+// the Zipf, recent days dominate the day picker, and the gzip/cond
+// fractions land near their configuration.
+func TestModelShape(t *testing.T) {
+	cfg := testModelCfg()
+	m, err := NewModel(7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 20000
+	dsCount := map[string]int{}
+	routeCount := map[string]int{}
+	var gzip, cond, dayOffsetSum, daySamples int
+	for i := 0; i < draws; i++ {
+		req := m.Next()
+		routeCount[req.Route]++
+		if req.Gzip {
+			gzip++
+		}
+		if req.Conditional {
+			cond++
+		}
+		switch req.Route {
+		case RouteReportCSV, RouteReportJSON, RouteLegacyCSV:
+			rest := strings.TrimPrefix(req.Path, "/v1/")
+			if req.Route != RouteLegacyCSV {
+				ds, r, ok := strings.Cut(rest, "/")
+				if !ok {
+					t.Fatalf("malformed path %q", req.Path)
+				}
+				dsCount[ds]++
+				rest = r
+			}
+			day := strings.TrimSuffix(strings.TrimPrefix(rest, "reports/"), ".csv")
+			d, err := dates.Parse(day)
+			if err != nil {
+				t.Fatalf("path %q: %v", req.Path, err)
+			}
+			if d.DayNumber() < cfg.First.DayNumber() || d.DayNumber() > cfg.Last.DayNumber() {
+				t.Fatalf("day %s outside window", d)
+			}
+			dayOffsetSum += cfg.Last.DayNumber() - d.DayNumber()
+			daySamples++
+		case RouteDates:
+			dsCount[strings.TrimSuffix(strings.TrimPrefix(req.Path, "/v1/"), "/dates")]++
+		case RouteSeries:
+			if req.Path != cfg.SeriesPaths[0] {
+				t.Fatalf("series path %q", req.Path)
+			}
+		default:
+			t.Fatalf("unknown route %q", req.Route)
+		}
+	}
+	if dsCount["apnic"] <= dsCount["cdn"] || dsCount["cdn"] <= dsCount["itu"] {
+		t.Errorf("Zipf rank order violated: %v", dsCount)
+	}
+	if routeCount[RouteSeries] == 0 || routeCount[RouteDates] == 0 {
+		t.Errorf("route mix missing tails: %v", routeCount)
+	}
+	// Mean exponential offset is halfLife/ln2 ≈ 1.44*hl ≈ 10.1 days; the
+	// clamp only pulls it down. Anything near uniform (≈183) is a bug.
+	if mean := float64(dayOffsetSum) / float64(daySamples); mean > 3*cfg.HotDayHalfLife {
+		t.Errorf("mean day offset %.1f days; recency bias lost", mean)
+	}
+	if f := float64(gzip) / draws; f < 0.45 || f > 0.55 {
+		t.Errorf("gzip fraction %.3f, want ~0.5", f)
+	}
+	if f := float64(cond) / draws; f < 0.25 || f > 0.35 {
+		t.Errorf("conditional fraction %.3f, want ~0.3", f)
+	}
+}
+
+// TestModelNoSeriesPaths: with no series paths the series share of the
+// mix degrades to report CSVs instead of emitting empty paths.
+func TestModelNoSeriesPaths(t *testing.T) {
+	cfg := testModelCfg()
+	cfg.SeriesPaths = nil
+	m, err := NewModel(7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		req := m.Next()
+		if req.Route == RouteSeries || req.Path == "" {
+			t.Fatalf("draw %d: %+v", i, req)
+		}
+	}
+}
+
+// TestModelValidation: bad configs fail construction instead of
+// producing degenerate streams.
+func TestModelValidation(t *testing.T) {
+	cfg := testModelCfg()
+	cfg.Datasets = nil
+	if _, err := NewModel(1, cfg); err == nil {
+		t.Error("no datasets must fail")
+	}
+	cfg = testModelCfg()
+	cfg.First, cfg.Last = cfg.Last, cfg.First
+	if _, err := NewModel(1, cfg); err == nil {
+		t.Error("inverted window must fail")
+	}
+}
+
+// TestModelNarrowWindow: a one-day window keeps every draw on that day
+// (the exponential clamp) rather than panicking or escaping the range.
+func TestModelNarrowWindow(t *testing.T) {
+	cfg := testModelCfg()
+	cfg.First = dates.New(2024, 6, 1)
+	cfg.Last = cfg.First
+	m, err := NewModel(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		req := m.Next()
+		if strings.Contains(req.Path, "reports/") && !strings.Contains(req.Path, "2024-06-01") {
+			t.Fatalf("draw escaped one-day window: %q", req.Path)
+		}
+	}
+}

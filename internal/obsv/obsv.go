@@ -33,6 +33,15 @@ import (
 // cache hit to a cold full-report generation.
 var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
+// LoadBuckets are finer-grained latency bounds for load generation,
+// where warm cache hits sit well under a millisecond and the interesting
+// resolution is 100µs–250ms: DefBuckets would fold the entire warm path
+// into its first bucket and make p99 estimates useless.
+var LoadBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
 // Counter is a monotonically increasing integer metric.
 type Counter struct {
 	v atomic.Int64
@@ -109,6 +118,45 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed
+// distribution from the bucket counts, interpolating linearly inside the
+// bucket that straddles the target rank (Prometheus histogram_quantile
+// semantics). The estimate is bounded by the bucket resolution; callers
+// needing exact percentiles must keep raw samples. Returns NaN when the
+// histogram is empty; a quantile landing in the +Inf bucket clamps to
+// the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if float64(cum+n) < rank || n == 0 {
+			cum += n
+			continue
+		}
+		if i >= len(h.bounds) { // +Inf bucket: no upper bound to interpolate to
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		return lo + (hi-lo)*(rank-float64(cum))/float64(n)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
 
 // Buckets returns the bucket upper bounds and their cumulative counts
 // (Prometheus semantics: counts[i] is the number of observations <=

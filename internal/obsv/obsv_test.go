@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -185,5 +186,58 @@ func TestLabel(t *testing.T) {
 	}
 	if got, want := Label("m_total", "a", "x", "b", `q"uote`), `m_total{a="x",b="q\"uote"}`; got != want {
 		t.Errorf("Label = %q, want %q", got, want)
+	}
+}
+
+// TestHistogramQuantile checks the bucket-interpolated quantile against
+// uniformly spread observations, where the exact quantiles are known.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40})
+	// 40 observations uniform over (0, 40]: 10 per bucket.
+	for i := 1; i <= 40; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40},
+		{0.125, 5}, {0.625, 25},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Out-of-range q clamps rather than panicking.
+	if got := h.Quantile(2); got != 40 {
+		t.Errorf("Quantile(2) = %v, want clamp to 40", got)
+	}
+	if got := h.Quantile(-1); got < 0 || got > 10 {
+		t.Errorf("Quantile(-1) = %v, want within first bucket", got)
+	}
+}
+
+// TestHistogramQuantileEdges covers the empty histogram and observations
+// past the last finite bound.
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram Quantile = %v, want NaN", got)
+	}
+	h.Observe(100) // lands in +Inf bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf-bucket quantile = %v, want clamp to last finite bound 2", got)
+	}
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", got)
+	}
+}
+
+// TestLoadBucketsSorted guards the finer loadgen bucket set: ascending,
+// sub-millisecond resolution at the bottom.
+func TestLoadBucketsSorted(t *testing.T) {
+	if !sort.Float64sAreSorted(LoadBuckets) {
+		t.Fatalf("LoadBuckets not ascending: %v", LoadBuckets)
+	}
+	if LoadBuckets[0] >= 0.001 {
+		t.Fatalf("LoadBuckets[0] = %v; loadgen needs sub-millisecond resolution", LoadBuckets[0])
 	}
 }
