@@ -6,8 +6,13 @@
 // Usage:
 //
 //	apnicgen -seed 42 -from 2024-04-01 -to 2024-04-07 -out reports/
-//	apnicgen -date 2024-04-21                  # single day to stdout
-//	apnicgen -dataset cdn -date 2024-04-21     # frame CSV of another dataset
+//	apnicgen -date 2024-04-21                      # single day to stdout
+//	apnicgen -dataset cdn -date 2024-04-21         # frame CSV of another dataset
+//	apnicgen -dataset cdn -format bin -out frames/ # binary frame artifacts
+//
+// -format bin emits the compact binary frame codec (the same bytes the
+// server's .bin route serves) instead of CSV; it requires -dataset, since
+// the legacy APNIC layout is CSV-only by definition.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"repro/internal/apnic"
 	"repro/internal/dates"
 	"repro/internal/itu"
+	"repro/internal/source/binfmt"
 	"repro/internal/source/bundle"
 	"repro/internal/world"
 )
@@ -34,15 +40,26 @@ func main() {
 	out := flag.String("out", ".", "output directory for range mode")
 	dataset := flag.String("dataset", "",
 		"emit this dataset's frame CSV instead of the legacy APNIC layout (apnic, cdn, itu, mlab, dnscount, broadband, ixp)")
+	format := flag.String("format", "csv", "frame output format: csv or bin (requires -dataset)")
 	flag.Parse()
+
+	if *format != "csv" && *format != "bin" {
+		fmt.Fprintf(os.Stderr, "apnicgen: unknown -format %q (want csv or bin)\n", *format)
+		os.Exit(2)
+	}
+	if *format == "bin" && *dataset == "" {
+		fmt.Fprintln(os.Stderr, "apnicgen: -format bin requires -dataset; the legacy APNIC layout is CSV-only")
+		os.Exit(2)
+	}
 
 	w := world.MustBuild(world.Config{Seed: *seed})
 
-	// writeDay abstracts over the two output modes: the legacy APNIC CSV
+	// writeDay abstracts over the output modes: the legacy APNIC CSV
 	// (default, byte-identical to what apnicgen has always produced) and
-	// the generic frame CSV of any registered dataset.
+	// the generic frame of any registered dataset, as CSV or the binary
+	// frame codec.
 	var writeDay func(d dates.Date, out io.Writer) error
-	prefix := "apnic"
+	prefix, ext := "apnic", ".csv"
 	if *dataset == "" {
 		gen := apnic.New(w, itu.New(w, *seed), *seed)
 		writeDay = func(d dates.Date, out io.Writer) error {
@@ -56,10 +73,16 @@ func main() {
 			os.Exit(2)
 		}
 		prefix = *dataset
+		if *format == "bin" {
+			ext = binfmt.Suffix
+		}
 		writeDay = func(d dates.Date, out io.Writer) error {
 			f, err := b.Registry.Frame(*dataset, d)
 			if err != nil {
 				return err
+			}
+			if *format == "bin" {
+				return binfmt.Write(f, out)
 			}
 			return f.WriteCSV(out)
 		}
@@ -92,7 +115,7 @@ func main() {
 		fatal(err)
 	}
 	for _, d := range dates.Range(f, t, *step) {
-		path := filepath.Join(*out, fmt.Sprintf("%s-%s.csv", prefix, d))
+		path := filepath.Join(*out, fmt.Sprintf("%s-%s%s", prefix, d, ext))
 		file, err := os.Create(path)
 		if err != nil {
 			fatal(err)

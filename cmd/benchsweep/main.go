@@ -7,6 +7,7 @@
 // Usage:
 //
 //	benchsweep [-seed N] [-parallel 1,0] [-out BENCH_sweep.json] [-max-allocs N] [-max-regress-pct P] [-baseline FILE]
+//	           [-max-bin-decode-allocs N] [-min-bin-speedup X]
 //
 // Parallelism 0 means GOMAXPROCS. Allocation counts are runtime.MemStats
 // deltas around the sweep itself — lab construction (world build) is
@@ -23,9 +24,17 @@
 // -max-regress-pct > 0 the tool exits 1 when the first listed level's
 // wall time exceeds the baseline's same-position sweep by more than that
 // percentage — the CI soft gate against wall-clock regressions.
+//
+// The report also carries a wire-format matrix: encode/decode ns per op,
+// bytes/sec, and decode allocs per op for each dataset under the csv,
+// json, and binary frame codecs. -max-bin-decode-allocs gates the binary
+// decoder's O(1) allocation promise; -min-bin-speedup gates the binary
+// round trip's bytes/sec advantage over CSV (the reason the binary data
+// plane exists).
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +45,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/source"
+	"repro/internal/source/binfmt"
 	"repro/internal/source/bundle"
 	"repro/internal/world"
 )
@@ -70,6 +81,20 @@ type SourceTiming struct {
 	Rows       int    `json:"rows"`
 }
 
+// CodecTiming is one (dataset, codec) cell of the wire-format matrix:
+// encode and decode cost over the dataset's primary-day frame, plus the
+// decode allocation count — the number the binary plane exists to crush.
+type CodecTiming struct {
+	Source            string  `json:"source"`
+	Codec             string  `json:"codec"` // "csv", "json", "bin"
+	Bytes             int     `json:"bytes"` // encoded body size
+	EncodeNSOp        int64   `json:"encode_ns_op"`
+	DecodeNSOp        int64   `json:"decode_ns_op"`
+	EncodeBytesPerSec float64 `json:"encode_bytes_per_sec"`
+	DecodeBytesPerSec float64 `json:"decode_bytes_per_sec"`
+	DecodeAllocsPerOp float64 `json:"decode_allocs_per_op"`
+}
+
 // Report is the whole BENCH_sweep.json document.
 type Report struct {
 	GeneratedUnix int64          `json:"generated_unix"`
@@ -79,6 +104,7 @@ type Report struct {
 	Seed          uint64         `json:"seed"`
 	Sweeps        []Sweep        `json:"sweeps"`
 	Sources       []SourceTiming `json:"sources"`
+	Codecs        []CodecTiming  `json:"codecs"`
 
 	// History holds prior runs' headline sweeps, oldest first, capped at
 	// historyCap entries. Each new run folds the previous report's first
@@ -107,6 +133,10 @@ func main() {
 	maxRegress := flag.Float64("max-regress-pct", 0,
 		"fail if the first level's wall time regresses more than this percent vs the baseline (0 = no gate)")
 	baseline := flag.String("baseline", "", "baseline report for the regression gate and history (default: the -out path before overwrite)")
+	maxBinDecodeAllocs := flag.Float64("max-bin-decode-allocs", 0,
+		"fail if any dataset's binary decode allocates more than this per op (0 = no gate)")
+	minBinSpeedup := flag.Float64("min-bin-speedup", 0,
+		"fail if the apnic binary encode+decode round trip is not at least this many times the CSV round trip in bytes/sec (0 = no gate)")
 	flag.Parse()
 
 	var levels []int
@@ -165,6 +195,13 @@ func main() {
 			st.Name, time.Duration(st.ElapsedNS), st.Rows, st.Mallocs, fmtBytes(st.AllocBytes))
 	}
 
+	rep.Codecs = measureCodecs(*seed)
+	for _, ct := range rep.Codecs {
+		fmt.Fprintf(os.Stderr, "codec  %-10s %-4s: %8s enc=%s/op dec=%s/op dec=%s/s allocs/dec=%.0f\n",
+			ct.Source, ct.Codec, fmtBytes(int64(ct.Bytes)), time.Duration(ct.EncodeNSOp),
+			time.Duration(ct.DecodeNSOp), fmtBytes(int64(ct.DecodeBytesPerSec)), ct.DecodeAllocsPerOp)
+	}
+
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -187,6 +224,34 @@ func main() {
 		if got := rep.Sweeps[0].WallNS; float64(got) > budget {
 			fmt.Fprintf(os.Stderr, "wall-time regression at parallelism %d: %s vs baseline %s (+%.0f%% budget)\n",
 				rep.Sweeps[0].Parallelism, time.Duration(got), time.Duration(base.Sweeps[0].WallNS), *maxRegress)
+			os.Exit(1)
+		}
+	}
+	if *maxBinDecodeAllocs > 0 {
+		for _, ct := range rep.Codecs {
+			if ct.Codec == "bin" && ct.DecodeAllocsPerOp > *maxBinDecodeAllocs {
+				fmt.Fprintf(os.Stderr, "binary decode alloc budget exceeded for %s: %.1f > %.1f allocs/op\n",
+					ct.Source, ct.DecodeAllocsPerOp, *maxBinDecodeAllocs)
+				os.Exit(1)
+			}
+		}
+	}
+	if *minBinSpeedup > 0 {
+		// Round-trip throughput for the hottest dataset: encoded bytes over
+		// the combined encode+decode time. The binary plane's reason to
+		// exist is this ratio staying comfortably above 1.
+		roundTrip := func(codec string) float64 {
+			for _, ct := range rep.Codecs {
+				if ct.Source == "apnic" && ct.Codec == codec && ct.EncodeNSOp+ct.DecodeNSOp > 0 {
+					return float64(ct.Bytes) / (float64(ct.EncodeNSOp+ct.DecodeNSOp) / 1e9)
+				}
+			}
+			return 0
+		}
+		csvRT, binRT := roundTrip("csv"), roundTrip("bin")
+		if csvRT <= 0 || binRT < *minBinSpeedup*csvRT {
+			fmt.Fprintf(os.Stderr, "binary speedup gate failed: bin round trip %s/s vs csv %s/s (want >= %.1fx)\n",
+				fmtBytes(int64(binRT)), fmtBytes(int64(csvRT)), *minBinSpeedup)
 			os.Exit(1)
 		}
 	}
@@ -274,6 +339,117 @@ func measureSources(seed uint64) []SourceTiming {
 		})
 	}
 	return out
+}
+
+// frameCodec pairs an encode and decode path for one wire format so the
+// codec matrix treats csv, json, and bin uniformly. Encoders produce a
+// fresh body per op (what the server's cache-fill path pays); decoders
+// parse a shared immutable body (what clients pay).
+type frameCodec struct {
+	name   string
+	encode func(*source.Frame) ([]byte, error)
+	decode func([]byte) (*source.Frame, error)
+}
+
+var frameCodecs = []frameCodec{
+	{"csv",
+		func(f *source.Frame) ([]byte, error) {
+			var buf bytes.Buffer
+			err := f.WriteCSV(&buf)
+			return buf.Bytes(), err
+		},
+		func(b []byte) (*source.Frame, error) { return source.ReadCSV(bytes.NewReader(b)) }},
+	{"json",
+		func(f *source.Frame) ([]byte, error) {
+			var buf bytes.Buffer
+			err := f.WriteJSON(&buf)
+			return buf.Bytes(), err
+		},
+		func(b []byte) (*source.Frame, error) { return source.ReadJSON(bytes.NewReader(b)) }},
+	{"bin", binfmt.Encode, binfmt.Decode},
+}
+
+// measureCodecs fills the wire-format matrix: for every dataset's
+// primary-day frame, time encode and decode for each codec. The frame
+// comes from a warm registry so only serialization is measured.
+func measureCodecs(seed uint64) []CodecTiming {
+	w := world.MustBuild(world.Config{Seed: seed})
+	b := bundle.New(w, seed, bundle.Config{})
+	day := experiments.PrimaryCDNDay
+
+	var out []CodecTiming
+	for _, name := range b.Registry.Names() {
+		f, err := b.Registry.Frame(name, day)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsweep: source %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, c := range frameCodecs {
+			body, err := c.encode(f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsweep: %s %s encode: %v\n", name, c.name, err)
+				os.Exit(1)
+			}
+			encNS, _, err := timeOp(func() error { _, err := c.encode(f); return err })
+			if err == nil {
+				var decNS int64
+				var decAllocs float64
+				decNS, decAllocs, err = timeOp(func() error { _, err := c.decode(body); return err })
+				if err == nil {
+					out = append(out, CodecTiming{
+						Source:            name,
+						Codec:             c.name,
+						Bytes:             len(body),
+						EncodeNSOp:        encNS,
+						DecodeNSOp:        decNS,
+						EncodeBytesPerSec: perSec(len(body), encNS),
+						DecodeBytesPerSec: perSec(len(body), decNS),
+						DecodeAllocsPerOp: decAllocs,
+					})
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsweep: %s %s: %v\n", name, c.name, err)
+				os.Exit(1)
+			}
+		}
+	}
+	return out
+}
+
+// timeOp runs op in a loop for at least 30ms (and 8 iterations) and
+// returns mean ns/op and allocs/op from MemStats deltas over the loop.
+func timeOp(op func() error) (int64, float64, error) {
+	const minDur = 30 * time.Millisecond
+	const minIters = 8
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	iters := 0
+	for {
+		if err := op(); err != nil {
+			return 0, 0, err
+		}
+		iters++
+		if iters >= minIters && time.Since(t0) >= minDur {
+			break
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	ns := elapsed.Nanoseconds() / int64(iters)
+	if ns < 1 {
+		ns = 1
+	}
+	return ns, float64(after.Mallocs-before.Mallocs) / float64(iters), nil
+}
+
+func perSec(bytes int, nsOp int64) float64 {
+	if nsOp <= 0 {
+		return 0
+	}
+	return float64(bytes) / (float64(nsOp) / 1e9)
 }
 
 func fmtBytes(n int64) string {

@@ -45,7 +45,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "logpipe: wrote %d records for %s on %s\n", n, *country, d)
 
 	case "aggregate":
-		agg := cdnlog.NewAggregator(w.DB, w.Registry, *botThreshold)
+		// Resolve against the compiled routing artifact: same answers as
+		// the live trie, one flat immutable build shared by the process.
+		agg := cdnlog.NewAggregator(w.RoutingDB(), w.Registry, *botThreshold)
 		parsed, err := agg.ReadFrom(os.Stdin)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "logpipe: parse warnings:", err)

@@ -11,6 +11,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -90,4 +91,42 @@ func main() {
 			shown++
 		}
 	}
+
+	// Representation check: the same report is served as JSON and as the
+	// compact binary frame codec (Accept: application/x-frame-bin). Both
+	// must decode to the identical frame; the binary body is the one a
+	// bulk consumer would pick.
+	fj, err := client.FrameJSON(ctx, "cdn", first)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fb, err := client.FrameBin(ctx, "cdn", first)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !fj.Equal(fb) {
+		log.Fatal("JSON and binary representations decoded to different frames")
+	}
+	jsonLen, binLen := bodyLen(ctx, base+"/v1/cdn/reports/"+first.String()), bodyLen(ctx, base+"/v1/cdn/reports/"+first.String()+".bin")
+	fmt.Printf("\ncdn report %s: JSON and binary decode to the same %d-row frame\n", first, fb.Rows())
+	fmt.Printf("  json body: %d bytes\n", jsonLen)
+	fmt.Printf("  bin  body: %d bytes (%.0f%% of JSON)\n", binLen, 100*float64(binLen)/float64(jsonLen))
+}
+
+// bodyLen fetches a URL and returns its identity body length.
+func bodyLen(ctx context.Context, u string) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d, %v", u, resp.StatusCode, err)
+	}
+	return len(body)
 }

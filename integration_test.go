@@ -41,7 +41,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	if err != nil || written == 0 {
 		t.Fatalf("log sampling failed: %d records, %v", written, err)
 	}
-	agg := cdnlog.NewAggregator(l.W.DB, l.W.Registry, 50)
+	agg := cdnlog.NewAggregator(l.W.RoutingDB(), l.W.Registry, 50)
 	if _, err := agg.ReadFrom(&logBuf); err != nil {
 		t.Fatal(err)
 	}

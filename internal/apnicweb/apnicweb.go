@@ -57,6 +57,7 @@ import (
 	"repro/internal/dates"
 	"repro/internal/obsv"
 	"repro/internal/source"
+	"repro/internal/source/binfmt"
 	"repro/internal/source/bundle"
 	"repro/internal/syncx"
 	"repro/internal/world"
@@ -169,6 +170,9 @@ func newServer(reg *source.Registry, apnicSrc *apnic.Source, first, last dates.D
 	if cacheDays < 1 {
 		cacheDays = 1
 	}
+	// Idempotent when the bundle already injected it; the APNIC-only
+	// constructors build a bare registry that must learn the codec here.
+	reg.SetBinCodec(binfmt.Encode)
 	rosterCap := cacheDays * max(1, len(reg.Names()))
 	s := &Server{
 		reg:            reg,
@@ -358,20 +362,32 @@ func (s *Server) handleDatasetDates(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleDatasetReport serves one dataset-day: "{date}.csv" as frame CSV,
-// a bare "{date}" as frame JSON. Both representations carry a strong
-// ETag derived from the frame content hash and negotiate gzip through
-// serveImmutable; identity bodies stream row-by-row and are never
-// materialized server-side.
+// handleDatasetReport serves one dataset-day in one of three
+// representations: "{date}.csv" as frame CSV, "{date}.bin" (or a bare
+// date with Accept: application/x-frame-bin) as the binary columnar
+// encoding, and a bare "{date}" otherwise as frame JSON. All three carry
+// a strong ETag derived from the frame content hash (variant-suffixed,
+// so no two representations share a validator) and negotiate gzip
+// through serveImmutable. Text identity bodies stream row-by-row and are
+// never materialized server-side; binary bodies are served from the
+// registry's memoized encoding — the compact artifact IS the cache.
 func (s *Server) handleDatasetReport(w http.ResponseWriter, r *http.Request) {
 	src, ok := s.lookupDataset(w, r)
 	if !ok {
 		return
 	}
-	name, wantCSV := strings.CutSuffix(r.PathValue("date"), ".csv")
+	name := r.PathValue("date")
+	var wantCSV, wantBin bool
+	if trimmed, ok := strings.CutSuffix(name, ".csv"); ok {
+		name, wantCSV = trimmed, true
+	} else if trimmed, ok := strings.CutSuffix(name, binfmt.Suffix); ok {
+		name, wantBin = trimmed, true
+	} else {
+		wantBin = acceptsFrameBin(r.Header.Get("Accept"))
+	}
 	d, err := dates.Parse(name)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, "bad date (want YYYY-MM-DD or YYYY-MM-DD.csv)")
+		jsonError(w, http.StatusBadRequest, "bad date (want YYYY-MM-DD, YYYY-MM-DD.csv or YYYY-MM-DD.bin)")
 		return
 	}
 	if d.Before(s.first) || d.After(s.last) {
@@ -385,6 +401,10 @@ func (s *Server) handleDatasetReport(w http.ResponseWriter, r *http.Request) {
 		// error detectable up front must become a clean 500 here.
 		err = f.Check()
 	}
+	var binBody []byte
+	if err == nil && wantBin {
+		binBody, err = s.reg.FrameBin(src.Name(), d)
+	}
 	if err != nil {
 		s.renderErrs.Inc()
 		if s.Log != nil {
@@ -393,22 +413,30 @@ func (s *Server) handleDatasetReport(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusInternalServerError, "report generation failed: "+err.Error())
 		return
 	}
-	repr, contentType, write := "csv", "text/csv; charset=utf-8", s.writeFrameCSV
-	if !wantCSV {
-		repr, contentType, write = "json", "application/json", s.writeFrameJSON
-	}
-	s.serveImmutable(w, r, immutableBody{
-		repr:        repr,
-		dataset:     src.Name(),
-		day:         d,
-		contentType: contentType,
-		hash:        s.frameHash(src.Name(), d, f),
-		stream:      func(w io.Writer) error { return write(f, w) },
+	b := immutableBody{
+		dataset: src.Name(),
+		day:     d,
+		hash:    s.frameHash(src.Name(), d, f),
 		fail: func(code int, msg string) {
 			s.renderErrs.Inc()
 			jsonError(w, code, msg)
 		},
-	})
+	}
+	switch {
+	case wantBin:
+		b.repr, b.contentType = "bin", binfmt.ContentType
+		b.body = binBody
+		// Binary bodies are materialized (the memoized artifact is the
+		// response), so the exact length can be declared up front.
+		b.declareLen = true
+	case wantCSV:
+		b.repr, b.contentType = "csv", "text/csv; charset=utf-8"
+		b.stream = func(w io.Writer) error { return s.writeFrameCSV(f, w) }
+	default:
+		b.repr, b.contentType = "json", "application/json"
+		b.stream = func(w io.Writer) error { return s.writeFrameJSON(f, w) }
+	}
+	s.serveImmutable(w, r, b)
 }
 
 // frameHash memoizes the frame content hash per (dataset, day). Hashing
@@ -423,13 +451,14 @@ func (s *Server) frameHash(dataset string, d dates.Date, f *source.Frame) string
 // are cached anyway for the byte-identity contract) or a streamable
 // render (generic frame routes). Exactly one of body and stream is set.
 type immutableBody struct {
-	repr        string // representation key: "csv", "json", "legacy"
+	repr        string // representation key: "csv", "json", "bin", "legacy"
 	dataset     string
 	day         dates.Date
 	contentType string
 	hash        string                // content hash, the ETag base
 	body        []byte                // identity bytes, when already materialized
 	stream      func(io.Writer) error // identity streamer otherwise
+	declareLen  bool                  // set Content-Length for identity body bytes
 	fail        func(code int, msg string)
 }
 
@@ -485,9 +514,14 @@ func (s *Server) serveImmutable(w http.ResponseWriter, r *http.Request, b immuta
 	}
 	s.encIdentity.Inc()
 	if b.body != nil {
-		// Content-Length is deliberately not set: net/http chunks large
-		// bodies exactly as it did before the conditional layer existed,
-		// keeping the legacy responses byte-identical on the wire.
+		// Content-Length is deliberately not set for the legacy route:
+		// net/http chunks large bodies exactly as it did before the
+		// conditional layer existed, keeping those responses
+		// byte-identical on the wire. The binary route opts in instead —
+		// its body is a materialized artifact with a known length.
+		if b.declareLen {
+			h.Set("Content-Length", strconv.Itoa(len(b.body)))
+		}
 		w.Write(b.body)
 		return
 	}
@@ -1002,6 +1036,70 @@ func (c *Client) Frame(ctx context.Context, dataset string, d dates.Date) (*sour
 	f, err := source.ReadCSV(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("apnicweb: parsing %s %s: %w", dataset, d, err)
+	}
+	return f, nil
+}
+
+// FrameJSON fetches and parses one dataset-day from the generic JSON
+// route (the bare-date representation).
+func (c *Client) FrameJSON(ctx context.Context, dataset string, d dates.Date) (*source.Frame, error) {
+	u, err := url.JoinPath(c.BaseURL, "/v1/", dataset, "/reports/", d.String())
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorf(u, resp)
+	}
+	f, err := source.ReadJSON(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("apnicweb: parsing %s %s: %w", dataset, d, err)
+	}
+	return f, nil
+}
+
+// FrameBin fetches one dataset-day over the binary representation and
+// zero-copy decodes it: the returned frame aliases the response buffer,
+// so the fetch costs one body read plus a constant number of
+// allocations, regardless of row count. It negotiates via the Accept
+// header rather than the .bin path suffix, exercising the content-type
+// route a proxying client would use.
+func (c *Client) FrameBin(ctx context.Context, dataset string, d dates.Date) (*source.Frame, error) {
+	u, err := url.JoinPath(c.BaseURL, "/v1/", dataset, "/reports/", d.String())
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", binfmt.ContentType)
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorf(u, resp)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != binfmt.ContentType {
+		return nil, fmt.Errorf("apnicweb: GET %s: server answered %q, not %q", u, ct, binfmt.ContentType)
+	}
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("apnicweb: reading %s %s: %w", dataset, d, err)
+	}
+	f, err := binfmt.Decode(buf)
+	if err != nil {
+		return nil, fmt.Errorf("apnicweb: decoding %s %s: %w", dataset, d, err)
 	}
 	return f, nil
 }

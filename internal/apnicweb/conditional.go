@@ -25,6 +25,8 @@ import (
 	"encoding/hex"
 	"strconv"
 	"strings"
+
+	"repro/internal/source/binfmt"
 )
 
 // etagMatch reports whether any entity tag in an If-None-Match header
@@ -68,6 +70,26 @@ func acceptsGzip(acceptEncoding string) bool {
 				return false // explicit "gzip;q=0" refusal
 			}
 			continue // "*;q=0" refuses the wildcard, not gzip itself
+		}
+		return true
+	}
+	return false
+}
+
+// acceptsFrameBin reports whether the request's Accept header asks for
+// the binary frame representation: an application/x-frame-bin member
+// whose q-value is not zero. The wildcard types text routes default to
+// (*/*, application/*) deliberately do NOT select binary — a browser
+// must keep getting JSON; only a client that names the media type opts
+// into the binary plane.
+func acceptsFrameBin(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, params, _ := strings.Cut(part, ";")
+		if !strings.EqualFold(strings.TrimSpace(mediaType), binfmt.ContentType) {
+			continue
+		}
+		if q, ok := qValue(params); ok && q == 0 {
+			return false // explicit refusal
 		}
 		return true
 	}

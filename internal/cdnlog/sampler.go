@@ -41,7 +41,7 @@ func NewSampler(w *world.World, seed uint64) *Sampler {
 		root:  rng.New(seed).Split("cdnlog"),
 		byASN: map[uint32][]netip.Prefix{},
 	}
-	w.DB.Walk(func(p netip.Prefix, r netdb.Route) bool {
+	w.RoutingDB().Walk(func(p netip.Prefix, r netdb.Route) bool {
 		s.byASN[r.ASN] = append(s.byASN[r.ASN], p)
 		return true
 	})
@@ -70,7 +70,7 @@ func (s *Sampler) PairRecords(pair orgs.CountryOrg, d dates.Date, n int) []Recor
 	var prefixes []netip.Prefix
 	for _, asn := range o.ASNs {
 		for _, p := range s.byASN[asn] {
-			r, _ := s.w.DB.Lookup(p.Addr())
+			r, _ := s.w.RoutingDB().Lookup(p.Addr())
 			if r.TrueCountry == pair.Country {
 				prefixes = append(prefixes, p)
 			}

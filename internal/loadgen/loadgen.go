@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/dates"
 	"repro/internal/obsv"
+	"repro/internal/source/binfmt"
 )
 
 // Mode selects the loop discipline.
@@ -426,6 +427,21 @@ func (r *runner) do(ctx context.Context, plan Request, intended time.Time) {
 				rec.mu.Unlock()
 				if r.cfg.Log != nil {
 					r.cfg.Log.Printf("loadgen: body mismatch %s (%s)", plan.Path, variant)
+				}
+			}
+			// Binary identity bodies additionally carry a checksum and a
+			// strict structure: decode them so corruption inside a stable
+			// body (same bytes, bad frame) cannot hide behind the hash.
+			if plan.Route == RouteReportBin && !plan.Gzip {
+				if _, err := binfmt.Decode(body); err != nil {
+					failed = true
+					rec := r.rec(plan.Route)
+					rec.mu.Lock()
+					rec.stats.Mismatches++
+					rec.mu.Unlock()
+					if r.cfg.Log != nil {
+						r.cfg.Log.Printf("loadgen: undecodable binary body %s: %v", plan.Path, err)
+					}
 				}
 			}
 		}

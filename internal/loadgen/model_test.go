@@ -68,7 +68,7 @@ func TestModelShape(t *testing.T) {
 			cond++
 		}
 		switch req.Route {
-		case RouteReportCSV, RouteReportJSON, RouteLegacyCSV:
+		case RouteReportBin, RouteReportCSV, RouteReportJSON, RouteLegacyCSV:
 			rest := strings.TrimPrefix(req.Path, "/v1/")
 			if req.Route != RouteLegacyCSV {
 				ds, r, ok := strings.Cut(rest, "/")
@@ -78,7 +78,9 @@ func TestModelShape(t *testing.T) {
 				dsCount[ds]++
 				rest = r
 			}
-			day := strings.TrimSuffix(strings.TrimPrefix(rest, "reports/"), ".csv")
+			day := strings.TrimPrefix(rest, "reports/")
+			day = strings.TrimSuffix(day, ".csv")
+			day = strings.TrimSuffix(day, ".bin")
 			d, err := dates.Parse(day)
 			if err != nil {
 				t.Fatalf("path %q: %v", req.Path, err)
@@ -103,6 +105,11 @@ func TestModelShape(t *testing.T) {
 	}
 	if routeCount[RouteSeries] == 0 || routeCount[RouteDates] == 0 {
 		t.Errorf("route mix missing tails: %v", routeCount)
+	}
+	// The binary share is a first-class slice of the mix (cum 0.20), not a
+	// rounding artifact: expect roughly a fifth of draws.
+	if f := float64(routeCount[RouteReportBin]) / draws; f < 0.15 || f > 0.25 {
+		t.Errorf("binary route fraction %.3f, want ~0.20", f)
 	}
 	// Mean exponential offset is halfLife/ln2 ≈ 1.44*hl ≈ 10.1 days; the
 	// clamp only pulls it down. Anything near uniform (≈183) is a bug.

@@ -1,0 +1,468 @@
+package netdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"net/netip"
+	"sort"
+	"unsafe"
+)
+
+// This file implements the compiled form of DB: the pointer-chasing trie
+// plus per-route Route structs flattened into a handful of contiguous
+// typed slabs inside one versioned, checksummed byte artifact. A server
+// (or a fleet of per-world Labs) builds the database once with Compile
+// and every consumer loads it with LoadBytes, which aliases the slabs
+// straight out of the artifact instead of reconstructing the trie — the
+// mmap-style pattern GeoIP readers use for their .mmdb files.
+//
+// Artifact layout, version 1 (all integers little-endian):
+//
+//	magic     4 bytes  FB 'N' 'D' 'B'
+//	version   u16      1
+//	flags     u16      0 (reserved; loaders reject nonzero)
+//	countryN  u32      then countryN × (u32 length + bytes), sorted,
+//	                   unique — the country-code dictionary
+//	routeN    u32
+//	pad       zeros to the next 8-byte boundary
+//	bases     routeN × u32   prefix base addresses, walk (address) order
+//	asns      routeN × u32   origin ASNs
+//	regIdx    routeN × u16   dictionary index of RegisteredCountry
+//	trueIdx   routeN × u16   dictionary index of TrueCountry
+//	bits      routeN × u8    prefix lengths (0..32)
+//	pad       zeros to the next 4-byte boundary
+//	nodeN     u32
+//	nodes     nodeN × 3 × u32  child0, child1, route index (preorder;
+//	                           0xFFFFFFFF = none; node 0 is the root)
+//	crc       u32      CRC-32C (Castagnoli) of every byte before it
+//
+// LoadBytes validates the checksum and every index once, up front, so
+// lookups run with plain slice indexing and zero allocations.
+
+// CompiledVersion is the artifact version this package writes.
+const CompiledVersion = 1
+
+// cdbNone marks an absent child or route index in the node slab.
+const cdbNone = ^uint32(0)
+
+var cdbMagic = [4]byte{0xFB, 'N', 'D', 'B'}
+
+var cdbCRC = crc32.MakeTable(crc32.Castagnoli)
+
+var cdbLE = binary.LittleEndian
+
+// cdbHostLittle gates slab aliasing, exactly as in the frame codec.
+var cdbHostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Database is the read side shared by the live *DB and the compiled
+// *CompiledDB, so consumers (log pipelines, samplers, HTTP handlers) can
+// take either.
+type Database interface {
+	Lookup(addr netip.Addr) (Route, bool)
+	ASN(addr netip.Addr) uint32
+	PublicCountry(addr netip.Addr) string
+	TrueCountry(addr netip.Addr) string
+	Len() int
+	Walk(fn func(p netip.Prefix, r Route) bool)
+}
+
+var (
+	_ Database = (*DB)(nil)
+	_ Database = (*CompiledDB)(nil)
+)
+
+// CompiledDB is a read-only DB view over a compiled artifact. All slabs
+// alias the loaded byte slice (see LoadBytes); the zero value is an
+// empty database.
+type CompiledDB struct {
+	countries []string
+	bases     []uint32
+	bits      []byte
+	asns      []uint32
+	regIdx    []uint16
+	trueIdx   []uint16
+	nodes     []uint32 // 3 entries per node: child0, child1, route index
+}
+
+// Compile flattens db into a version-1 artifact. The route slabs are in
+// Walk (address) order and node 0 is the trie root, so LoadBytes∘Compile
+// answers every query identically to db.
+func Compile(db *DB) ([]byte, error) {
+	// Collect the country dictionary first: sorted and unique so the
+	// artifact is deterministic for a given database.
+	dict := map[string]uint16{}
+	var countries []string
+	db.Walk(func(_ netip.Prefix, r Route) bool {
+		for _, c := range []string{r.RegisteredCountry, r.TrueCountry} {
+			if _, ok := dict[c]; !ok {
+				dict[c] = 0
+				countries = append(countries, c)
+			}
+		}
+		return true
+	})
+	sort.Strings(countries)
+	if len(countries) > 1<<16 {
+		return nil, fmt.Errorf("netdb: %d countries exceed the u16 dictionary", len(countries))
+	}
+	for i, c := range countries {
+		dict[c] = uint16(i)
+	}
+
+	// Flatten trie and routes together in preorder: a node's route is
+	// recorded before its children's, which is exactly Walk order.
+	type flatNode struct{ c0, c1, route uint32 }
+	var nodes []flatNode
+	var routes []struct {
+		p netip.Prefix
+		r Route
+	}
+	var rec func(n *node[Route]) uint32
+	rec = func(n *node[Route]) uint32 {
+		if n == nil {
+			return cdbNone
+		}
+		idx := uint32(len(nodes))
+		nodes = append(nodes, flatNode{cdbNone, cdbNone, cdbNone})
+		if n.hasValue {
+			nodes[idx].route = uint32(len(routes))
+			routes = append(routes, struct {
+				p netip.Prefix
+				r Route
+			}{n.prefix, n.value})
+		}
+		c0 := rec(n.children[0])
+		c1 := rec(n.children[1])
+		nodes[idx].c0, nodes[idx].c1 = c0, c1
+		return idx
+	}
+	rec(db.table.root)
+	if uint64(len(nodes)) >= uint64(cdbNone) || uint64(len(routes)) >= uint64(cdbNone) {
+		return nil, fmt.Errorf("netdb: database too large to compile")
+	}
+
+	size := 4 + 2 + 2 + 4
+	for _, c := range countries {
+		size += 4 + len(c)
+	}
+	size += 4
+	size += cdbPad8(size)
+	size += len(routes) * (4 + 4 + 2 + 2 + 1)
+	size += cdbPad4(size)
+	size += 4 + len(nodes)*12
+	size += 4 // crc
+
+	buf := make([]byte, 0, size)
+	buf = append(buf, cdbMagic[:]...)
+	buf = cdbLE.AppendUint16(buf, CompiledVersion)
+	buf = cdbLE.AppendUint16(buf, 0)
+	buf = cdbLE.AppendUint32(buf, uint32(len(countries)))
+	for _, c := range countries {
+		buf = cdbLE.AppendUint32(buf, uint32(len(c)))
+		buf = append(buf, c...)
+	}
+	buf = cdbLE.AppendUint32(buf, uint32(len(routes)))
+	for i := cdbPad8(len(buf)); i > 0; i-- {
+		buf = append(buf, 0)
+	}
+	for _, rt := range routes {
+		buf = cdbLE.AppendUint32(buf, AddrToUint32(rt.p.Addr()))
+	}
+	for _, rt := range routes {
+		buf = cdbLE.AppendUint32(buf, rt.r.ASN)
+	}
+	for _, rt := range routes {
+		buf = cdbLE.AppendUint16(buf, dict[rt.r.RegisteredCountry])
+	}
+	for _, rt := range routes {
+		buf = cdbLE.AppendUint16(buf, dict[rt.r.TrueCountry])
+	}
+	for _, rt := range routes {
+		buf = append(buf, byte(rt.p.Bits()))
+	}
+	for i := cdbPad4(len(buf)); i > 0; i-- {
+		buf = append(buf, 0)
+	}
+	buf = cdbLE.AppendUint32(buf, uint32(len(nodes)))
+	for _, n := range nodes {
+		buf = cdbLE.AppendUint32(buf, n.c0)
+		buf = cdbLE.AppendUint32(buf, n.c1)
+		buf = cdbLE.AppendUint32(buf, n.route)
+	}
+	buf = cdbLE.AppendUint32(buf, crc32.Checksum(buf, cdbCRC))
+	return buf, nil
+}
+
+func cdbPad8(n int) int { return (8 - n%8) % 8 }
+func cdbPad4(n int) int { return (4 - n%4) % 4 }
+
+// cdbCorrupt reports a structurally invalid artifact.
+type cdbCorrupt string
+
+func (e cdbCorrupt) Error() string { return "netdb: corrupt artifact: " + string(e) }
+
+// LoadBytes opens a compiled artifact, aliasing the route and node slabs
+// out of buf: the caller must keep buf alive as long as the database and
+// must not mutate it. Every checksum, bound, and index is verified here,
+// once, so the returned database's queries are allocation-free slice
+// walks. On a big-endian host (or an unaligned buffer) the affected
+// slabs are copied instead — still one allocation per slab.
+func LoadBytes(buf []byte) (*CompiledDB, error) {
+	if len(buf) < 4+2+2+4+4+4+12+4 { // header + counts + root node + crc
+		return nil, cdbCorrupt("shorter than the fixed header")
+	}
+	if [4]byte(buf[:4]) != cdbMagic {
+		return nil, cdbCorrupt("bad magic")
+	}
+	body := buf[:len(buf)-4]
+	if want := cdbLE.Uint32(buf[len(buf)-4:]); crc32.Checksum(body, cdbCRC) != want {
+		return nil, cdbCorrupt("checksum mismatch")
+	}
+	r := &cdbReader{b: body, off: 4}
+	if v := r.u16(); v != CompiledVersion {
+		return nil, fmt.Errorf("netdb: unsupported artifact version %d (have %d)", v, CompiledVersion)
+	}
+	if fl := r.u16(); fl != 0 {
+		return nil, fmt.Errorf("netdb: unsupported artifact flags %#x", fl)
+	}
+
+	countryN := r.u32()
+	if uint64(countryN)*4 > r.remaining() {
+		return nil, cdbCorrupt("country count exceeds buffer")
+	}
+	countries := make([]string, countryN)
+	for i := range countries {
+		countries[i] = r.str()
+	}
+
+	routeN := r.u32()
+	if uint64(routeN)*13 > r.remaining() {
+		return nil, cdbCorrupt("route count exceeds buffer")
+	}
+	r.pad(8)
+	db := &CompiledDB{countries: countries}
+	db.bases = cdbAliasU32(r.take(uint64(routeN)*4), int(routeN))
+	db.asns = cdbAliasU32(r.take(uint64(routeN)*4), int(routeN))
+	db.regIdx = cdbAliasU16(r.take(uint64(routeN)*2), int(routeN))
+	db.trueIdx = cdbAliasU16(r.take(uint64(routeN)*2), int(routeN))
+	db.bits = r.take(uint64(routeN))
+	r.pad(4)
+
+	nodeN := r.u32()
+	if uint64(nodeN)*12 > r.remaining() {
+		return nil, cdbCorrupt("node count exceeds buffer")
+	}
+	db.nodes = cdbAliasU32(r.take(uint64(nodeN)*12), int(nodeN)*3)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, cdbCorrupt("trailing bytes after the node slab")
+	}
+	if nodeN == 0 {
+		return nil, cdbCorrupt("missing root node")
+	}
+
+	// Up-front validation: after this, queries index slabs unchecked.
+	for i := 0; i < int(routeN); i++ {
+		if db.bits[i] > 32 {
+			return nil, cdbCorrupt("prefix length over 32")
+		}
+		if uint32(db.regIdx[i]) >= countryN || uint32(db.trueIdx[i]) >= countryN {
+			return nil, cdbCorrupt("country index out of range")
+		}
+	}
+	for i, v := range db.nodes {
+		if v == cdbNone {
+			continue
+		}
+		if i%3 == 2 {
+			if v >= routeN {
+				return nil, cdbCorrupt("route index out of range")
+			}
+		} else if v >= nodeN {
+			return nil, cdbCorrupt("child index out of range")
+		}
+	}
+	return db, nil
+}
+
+// cdbReader is the artifact's sticky-error cursor, mirroring the frame
+// codec's reader.
+type cdbReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *cdbReader) fail(msg string) {
+	if r.err == nil {
+		r.err = cdbCorrupt(msg)
+	}
+}
+
+func (r *cdbReader) take(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("truncated")
+		return nil
+	}
+	p := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return p
+}
+
+func (r *cdbReader) u16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return cdbLE.Uint16(p)
+}
+
+func (r *cdbReader) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return cdbLE.Uint32(p)
+}
+
+func (r *cdbReader) str() string {
+	n := r.u32()
+	p := r.take(uint64(n))
+	if len(p) == 0 {
+		return ""
+	}
+	return unsafe.String(&p[0], len(p))
+}
+
+func (r *cdbReader) pad(to int) {
+	for r.off%to != 0 {
+		p := r.take(1)
+		if p == nil {
+			return
+		}
+		if p[0] != 0 {
+			r.fail("nonzero padding")
+			return
+		}
+	}
+}
+
+func (r *cdbReader) remaining() uint64 { return uint64(len(r.b) - r.off) }
+
+// cdbAliasU32 views p as n little-endian uint32s, aliasing when aligned
+// on a little-endian host and copying otherwise.
+func cdbAliasU32(p []byte, n int) []uint32 {
+	if n == 0 || p == nil {
+		return nil
+	}
+	if cdbHostLittle && uintptr(unsafe.Pointer(&p[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&p[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = cdbLE.Uint32(p[4*i:])
+	}
+	return out
+}
+
+// cdbAliasU16 is cdbAliasU32 for 2-byte slabs.
+func cdbAliasU16(p []byte, n int) []uint16 {
+	if n == 0 || p == nil {
+		return nil
+	}
+	if cdbHostLittle && uintptr(unsafe.Pointer(&p[0]))%2 == 0 {
+		return unsafe.Slice((*uint16)(unsafe.Pointer(&p[0])), n)
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = cdbLE.Uint16(p[2*i:])
+	}
+	return out
+}
+
+// route materializes route i from the slabs.
+func (db *CompiledDB) route(i uint32) Route {
+	return Route{
+		ASN:               db.asns[i],
+		RegisteredCountry: db.countries[db.regIdx[i]],
+		TrueCountry:       db.countries[db.trueIdx[i]],
+	}
+}
+
+// Lookup resolves an address to its longest-prefix route, matching
+// (*DB).Lookup bit for bit. It performs no allocations.
+func (db *CompiledDB) Lookup(addr netip.Addr) (Route, bool) {
+	if !addr.Is4() || len(db.nodes) == 0 {
+		return Route{}, false
+	}
+	a := addr.As4()
+	best := cdbNone
+	cur := uint32(0)
+	for i := 0; ; i++ {
+		if ri := db.nodes[3*cur+2]; ri != cdbNone {
+			best = ri
+		}
+		if i == 32 {
+			break
+		}
+		bit := uint32(a[i/8]>>(7-i%8)) & 1
+		next := db.nodes[3*cur+bit]
+		if next == cdbNone {
+			break
+		}
+		cur = next
+	}
+	if best == cdbNone {
+		return Route{}, false
+	}
+	return db.route(best), true
+}
+
+// ASN resolves an address to its origin ASN; 0 if unrouted.
+func (db *CompiledDB) ASN(addr netip.Addr) uint32 {
+	r, ok := db.Lookup(addr)
+	if !ok {
+		return 0
+	}
+	return r.ASN
+}
+
+// PublicCountry geolocates an address as a public database would.
+func (db *CompiledDB) PublicCountry(addr netip.Addr) string {
+	r, ok := db.Lookup(addr)
+	if !ok {
+		return ""
+	}
+	return r.RegisteredCountry
+}
+
+// TrueCountry geolocates an address to the actual user location.
+func (db *CompiledDB) TrueCountry(addr netip.Addr) string {
+	r, ok := db.Lookup(addr)
+	if !ok {
+		return ""
+	}
+	return r.TrueCountry
+}
+
+// Len returns the number of compiled routes.
+func (db *CompiledDB) Len() int { return len(db.bases) }
+
+// Walk visits all routes in address order, same as (*DB).Walk.
+func (db *CompiledDB) Walk(fn func(p netip.Prefix, r Route) bool) {
+	for i := range db.bases {
+		p := PrefixFromUint32(db.bases[i], int(db.bits[i]))
+		if !fn(p, db.route(uint32(i))) {
+			return
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package netdb
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// nestedDB builds a database exercising the awkward trie shapes: a
+// default route, nested prefixes three deep, adjacent siblings, a host
+// route, and diverging geolocation views.
+func nestedDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	announce := func(cidr string, asn uint32, reg, true_ string) {
+		t.Helper()
+		if err := db.Announce(netip.MustParsePrefix(cidr), Route{ASN: asn, RegisteredCountry: reg, TrueCountry: true_}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	announce("0.0.0.0/0", 1, "ZZ", "ZZ")
+	announce("10.0.0.0/8", 64500, "DE", "DE")
+	announce("10.1.0.0/16", 64501, "DE", "FR")
+	announce("10.1.2.0/24", 64502, "FR", "FR")
+	announce("10.2.0.0/16", 64503, "NL", "NL")
+	announce("192.0.2.17/32", 64504, "NO", "SE")
+	announce("198.51.100.0/24", 64505, "NO", "NO")
+	return db
+}
+
+// probes covers every announced prefix plus boundary and unrouted space.
+var probes = []string{
+	"10.0.0.1", "10.1.0.1", "10.1.2.3", "10.1.3.1", "10.2.0.255",
+	"10.255.255.255", "192.0.2.17", "192.0.2.18", "198.51.100.99",
+	"203.0.113.1", "0.0.0.0", "255.255.255.255",
+}
+
+func TestCompiledEquivalence(t *testing.T) {
+	db := nestedDB(t)
+	buf, err := Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb, err := LoadBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, db, cdb)
+
+	// IPv6 addresses resolve to nothing in both views.
+	if _, ok := cdb.Lookup(netip.MustParseAddr("2001:db8::1")); ok {
+		t.Error("compiled DB resolved an IPv6 address")
+	}
+}
+
+// assertEquivalent checks that the compiled view answers every read
+// exactly like the live trie.
+func assertEquivalent(t *testing.T, db *DB, cdb *CompiledDB) {
+	t.Helper()
+	if db.Len() != cdb.Len() {
+		t.Fatalf("Len: live %d, compiled %d", db.Len(), cdb.Len())
+	}
+	type walked struct {
+		p netip.Prefix
+		r Route
+	}
+	var a, b []walked
+	db.Walk(func(p netip.Prefix, r Route) bool { a = append(a, walked{p, r}); return true })
+	cdb.Walk(func(p netip.Prefix, r Route) bool { b = append(b, walked{p, r}); return true })
+	if len(a) != len(b) {
+		t.Fatalf("Walk: live visited %d, compiled %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Walk entry %d: live %+v, compiled %+v", i, a[i], b[i])
+		}
+	}
+	for _, s := range probes {
+		addr := netip.MustParseAddr(s)
+		lr, lok := db.Lookup(addr)
+		cr, cok := cdb.Lookup(addr)
+		if lok != cok || lr != cr {
+			t.Errorf("Lookup(%s): live (%+v,%v), compiled (%+v,%v)", s, lr, lok, cr, cok)
+		}
+		if db.ASN(addr) != cdb.ASN(addr) ||
+			db.PublicCountry(addr) != cdb.PublicCountry(addr) ||
+			db.TrueCountry(addr) != cdb.TrueCountry(addr) {
+			t.Errorf("derived views disagree at %s", s)
+		}
+	}
+}
+
+// TestCompiledEquivalenceRandom fuzzes the shape: random prefixes, then
+// random probe addresses, compiled vs live.
+func TestCompiledEquivalenceRandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	db := NewDB()
+	countries := []string{"DE", "FR", "NL", "NO", "SE", "ZZ"}
+	for i := 0; i < 500; i++ {
+		bits := 4 + rnd.Intn(29)
+		p := PrefixFromUint32(rnd.Uint32(), bits)
+		r := Route{
+			ASN:               uint32(64000 + rnd.Intn(1000)),
+			RegisteredCountry: countries[rnd.Intn(len(countries))],
+			TrueCountry:       countries[rnd.Intn(len(countries))],
+		}
+		if err := db.Announce(p, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf, err := Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb, err := LoadBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != cdb.Len() {
+		t.Fatalf("Len: live %d, compiled %d", db.Len(), cdb.Len())
+	}
+	for i := 0; i < 5000; i++ {
+		addr := AddrFromUint32(rnd.Uint32())
+		lr, lok := db.Lookup(addr)
+		cr, cok := cdb.Lookup(addr)
+		if lok != cok || lr != cr {
+			t.Fatalf("Lookup(%s): live (%+v,%v), compiled (%+v,%v)", addr, lr, lok, cr, cok)
+		}
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	db := nestedDB(t)
+	a, err := Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Compile is not deterministic for the same database")
+	}
+}
+
+func TestCompiledEmpty(t *testing.T) {
+	buf, err := Compile(NewDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb, err := LoadBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdb.Len() != 0 {
+		t.Fatalf("empty DB compiled to %d routes", cdb.Len())
+	}
+	if _, ok := cdb.Lookup(netip.MustParseAddr("10.0.0.1")); ok {
+		t.Error("empty compiled DB resolved an address")
+	}
+}
+
+func TestLoadBytesRejectsCorruption(t *testing.T) {
+	buf, err := Compile(nestedDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resealArtifact := func(b []byte) []byte {
+		if len(b) < 4 {
+			return b
+		}
+		body := b[:len(b)-4]
+		return cdbLE.AppendUint32(body, crc32.Checksum(body, cdbCRC))
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"short", func(b []byte) []byte { return b[:9] }},
+		{"bad magic", func(b []byte) []byte { b[1] = 'X'; return b }},
+		{"future version", func(b []byte) []byte { b[4] = 9; return resealArtifact(b) }},
+		{"nonzero flags", func(b []byte) []byte { b[6] = 1; return resealArtifact(b) }},
+		{"flipped bit", func(b []byte) []byte { b[len(b)/2] ^= 0x20; return b }},
+		{"flipped crc", func(b []byte) []byte { b[len(b)-2] ^= 0xFF; return b }},
+		{"truncated", func(b []byte) []byte { return resealArtifact(b[:len(b)-16]) }},
+		{"trailing bytes", func(b []byte) []byte { return resealArtifact(append(b, 1, 2, 3, 4)) }},
+	}
+	for _, tc := range cases {
+		in := tc.mutate(append([]byte(nil), buf...))
+		if _, err := LoadBytes(in); err == nil {
+			t.Errorf("%s: LoadBytes accepted corrupt artifact", tc.name)
+		}
+	}
+}
+
+// TestCompiledLookupAllocs pins the hot path: compiled lookups allocate
+// nothing.
+func TestCompiledLookupAllocs(t *testing.T) {
+	buf, err := Compile(nestedDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb, err := LoadBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := netip.MustParseAddr("10.1.2.3")
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, ok := cdb.Lookup(addr); !ok {
+			t.Fatal("lookup failed")
+		}
+	}); n != 0 {
+		t.Errorf("compiled Lookup allocates %.1f times per call, want 0", n)
+	}
+}
+
+func BenchmarkCompiledLookup(b *testing.B) {
+	buf, err := Compile(nestedDBBench(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cdb, err := LoadBytes(buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := netip.MustParseAddr("10.1.2.3")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cdb.Lookup(addr)
+	}
+}
+
+func BenchmarkLiveLookup(b *testing.B) {
+	db := nestedDBBench(b)
+	addr := netip.MustParseAddr("10.1.2.3")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Lookup(addr)
+	}
+}
+
+// nestedDBBench mirrors nestedDB for benchmarks.
+func nestedDBBench(b *testing.B) *DB {
+	b.Helper()
+	db := NewDB()
+	for _, e := range []struct {
+		cidr string
+		r    Route
+	}{
+		{"0.0.0.0/0", Route{1, "ZZ", "ZZ"}},
+		{"10.0.0.0/8", Route{64500, "DE", "DE"}},
+		{"10.1.0.0/16", Route{64501, "DE", "FR"}},
+		{"10.1.2.0/24", Route{64502, "FR", "FR"}},
+	} {
+		if err := db.Announce(netip.MustParsePrefix(e.cidr), e.r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}

@@ -1,0 +1,88 @@
+package binfmt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/source"
+)
+
+// The benchmarks compare the binary codec against the CSV path on the
+// same wide frame; CI's bench smoke runs them, and cmd/benchsweep
+// re-measures the same ratio for its -min-bin-speedup gate.
+
+func benchFrame(b *testing.B) *source.Frame {
+	b.Helper()
+	return wideFrame(5000)
+}
+
+func BenchmarkBinEncode(b *testing.B) {
+	f := benchFrame(b)
+	buf, err := Encode(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinDecode(b *testing.B) {
+	buf, err := Encode(benchFrame(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSVRoundTrip(b *testing.B) {
+	f := benchFrame(b)
+	var w bytes.Buffer
+	if err := f.WriteCSV(&w); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(w.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := f.WriteCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := source.ReadCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinRoundTrip(b *testing.B) {
+	f := benchFrame(b)
+	buf, err := Encode(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Encode(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package binfmt
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden version-1 bytes")
+
+// goldenPath holds the committed version-1 encoding of sampleFrame.
+const goldenPath = "testdata/frame_v1.bin"
+
+// TestGoldenBytes pins the version-1 wire format: the committed bytes
+// must decode to the sample frame, and re-encoding the sample frame must
+// reproduce them exactly. Any codec change that alters the bytes is a
+// wire-format break and needs a version bump, not a golden refresh.
+func TestGoldenBytes(t *testing.T) {
+	got, err := Encode(sampleFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("version-%d encoding drifted from the committed golden bytes (%d vs %d bytes); "+
+			"a deliberate format change must bump Version and add a new golden file", Version, len(got), len(want))
+	}
+	f, err := Decode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(sampleFrame()) {
+		t.Fatal("golden bytes no longer decode to the sample frame")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/mlab"
 	"repro/internal/obsv"
 	"repro/internal/source"
+	"repro/internal/source/binfmt"
 	"repro/internal/world"
 )
 
@@ -103,6 +104,10 @@ func New(w *world.World, seed uint64, cfg Config) *Bundle {
 		Broadband: broadband.NewSource(bbGen, metrics, days),
 		IXP:       ixp.NewSource(ixpGen, metrics, days),
 	}
+	// The binary frame codec lives above source (binfmt imports it), so
+	// this is also where the registry learns to encode frames; every
+	// consumer built from the bundle can then serve FrameBin.
+	b.Registry.SetBinCodec(binfmt.Encode)
 	b.Registry.Register(b.APNIC)
 	b.Registry.Register(b.CDN)
 	b.Registry.Register(b.ITU)

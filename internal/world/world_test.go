@@ -470,3 +470,43 @@ func TestShutdownFactorProperties(t *testing.T) {
 		t.Errorf("window factor %v not smoothed", wf)
 	}
 }
+
+// TestCompiledDBMatchesLive: the compiled routing artifact must answer
+// every query over a real world's announcements exactly like the live
+// trie — prefixes, ASNs, and both geolocation views, including the VPN
+// egress blocks whose two views diverge.
+func TestCompiledDBMatchesLive(t *testing.T) {
+	w := testWorld(t)
+	cdb := w.CompiledDB()
+	if cdb == nil {
+		t.Fatal("CompiledDB returned nil for a valid world")
+	}
+	if cdb != w.CompiledDB() {
+		t.Error("CompiledDB is not cached")
+	}
+	if w.RoutingDB() != netdb.Database(cdb) {
+		t.Error("RoutingDB does not prefer the compiled view")
+	}
+	if cdb.Len() != w.DB.Len() {
+		t.Fatalf("compiled %d routes, live %d", cdb.Len(), w.DB.Len())
+	}
+	divergent := 0
+	w.DB.Walk(func(p netip.Prefix, r netdb.Route) bool {
+		addr := p.Addr()
+		cr, ok := cdb.Lookup(addr)
+		if !ok {
+			t.Fatalf("compiled DB misses %v", p)
+		}
+		lr, _ := w.DB.Lookup(addr)
+		if cr != lr {
+			t.Fatalf("route mismatch at %v: live %+v, compiled %+v", p, lr, cr)
+		}
+		if r.RegisteredCountry != r.TrueCountry {
+			divergent++
+		}
+		return true
+	})
+	if divergent == 0 {
+		t.Fatal("world has no VPN egress blocks; test lost its teeth")
+	}
+}
