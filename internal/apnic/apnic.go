@@ -202,30 +202,31 @@ func (g *Generator) orgSamples(m *world.Market, country string, e *world.Entry, 
 	return s.Poisson(mean)
 }
 
-// Generate produces the report for one day. Reports are independent: the
-// same (world, seed, date) always yields the same report regardless of
-// what was generated before.
-func (g *Generator) Generate(d dates.Date) *Report {
-	rep := &Report{Date: d, Window: g.Window}
+// ASCount is one (country, AS) raw window-sample count before the
+// inclusion floor: the exchange currency between the batch generator and
+// the streaming rolling estimator. Both feed the same counts into
+// AssembleReport, which is what makes streaming estimates converge
+// *exactly* to batch reports once a day's stream is drained.
+type ASCount struct {
+	CC      string
+	ASN     uint32
+	Samples int64
+}
 
-	type asSample struct {
-		asn     uint32
-		cc      string
-		samples int64
-	}
-	countries := g.W.Countries()
-	countrySamples := make(map[string]int64, len(countries))
-	rows := make([]asSample, 0, 4096)
-
-	for _, code := range countries {
+// DayCounts produces every per-AS raw sample count for one day: the org
+// totals split across sibling ASes by their fixed weights (the last AS
+// takes the rounding remainder), with no inclusion floor applied. Zero
+// shares are omitted — they carry no impressions and the floor (>= 1
+// everywhere in this repo) would drop them anyway.
+func (g *Generator) DayCounts(d dates.Date) []ASCount {
+	counts := make([]ASCount, 0, 4096)
+	for _, code := range g.W.Countries() {
 		m := g.W.Market(code)
 		for _, e := range m.ActiveEntries(d) {
 			total := g.orgSamples(m, code, e, d)
 			if total == 0 {
 				continue
 			}
-			// Split the org total across sibling ASes by their fixed
-			// weights; the last AS takes the rounding remainder.
 			var assigned int64
 			for i, asn := range e.Org.ASNs {
 				var share int64
@@ -235,43 +236,63 @@ func (g *Generator) Generate(d dates.Date) *Report {
 					share = int64(float64(total) * e.ASNWeights[i])
 				}
 				assigned += share
-				if share < g.MinSamples {
+				if share <= 0 {
 					continue
 				}
-				rows = append(rows, asSample{
-					asn:     asn,
-					cc:      code,
-					samples: share,
-				})
-				countrySamples[code] += share
+				counts = append(counts, ASCount{CC: code, ASN: asn, Samples: share})
 			}
 		}
 	}
+	return counts
+}
+
+// AssembleReport builds one day's report from raw per-AS counts: the
+// inclusion floor, per-country totals, ITU scaling, the rank order. The
+// result is independent of the order of counts (the final sort is a
+// total order over distinct (CC, ASN) rows), so a streaming accumulator
+// that reassembles the same multiset of counts in any order produces a
+// report equal to the batch generator's.
+//
+// Counts must not repeat a (CC, ASN) pair; DayCounts never does, and the
+// rolling estimator aggregates per pair before assembling.
+func (g *Generator) AssembleReport(d dates.Date, counts []ASCount) *Report {
+	rep := &Report{Date: d, Window: g.Window}
+
+	countrySamples := make(map[string]int64, 256)
+	for _, c := range counts {
+		if c.Samples < g.MinSamples {
+			continue
+		}
+		countrySamples[c.CC] += c.Samples
+	}
 
 	worldITU := g.ITU.WorldTotal(d)
-	// Rows arrive grouped by country; memoize the per-country ITU estimate
-	// rather than re-deriving it once per row.
+	// Counts arrive grouped by country; memoize the per-country ITU
+	// estimate rather than re-deriving it once per row.
 	ituByCC := make(map[string]float64, len(countrySamples))
-	rep.Rows = make([]Row, 0, len(rows))
-	for _, r := range rows {
-		ctotal := countrySamples[r.cc]
+	rep.Rows = make([]Row, 0, len(counts))
+	for _, r := range counts {
+		if r.Samples < g.MinSamples {
+			continue
+		}
+		ctotal := countrySamples[r.CC]
 		if ctotal == 0 {
 			continue
 		}
-		ituUsers, ok := ituByCC[r.cc]
+		ituUsers, ok := ituByCC[r.CC]
 		if !ok {
-			ituUsers = g.ITU.Users(r.cc, d)
-			ituByCC[r.cc] = ituUsers
+			ituUsers = g.ITU.Users(r.CC, d)
+			ituByCC[r.CC] = ituUsers
 		}
-		users := float64(r.samples) / float64(ctotal) * ituUsers
+		users := float64(r.Samples) / float64(ctotal) * ituUsers
 		rep.Rows = append(rep.Rows, Row{
-			ASN:         r.asn,
-			ASName:      g.asName[r.asn],
-			CC:          r.cc,
+			ASN:         r.ASN,
+			ASName:      g.asName[r.ASN],
+			CC:          r.CC,
 			Users:       users,
-			PctCountry:  100 * float64(r.samples) / float64(ctotal),
+			PctCountry:  100 * float64(r.Samples) / float64(ctotal),
 			PctInternet: 100 * users / worldITU,
-			Samples:     r.samples,
+			Samples:     r.Samples,
 		})
 	}
 
@@ -279,12 +300,25 @@ func (g *Generator) Generate(d dates.Date) *Report {
 		if rep.Rows[i].Users != rep.Rows[j].Users {
 			return rep.Rows[i].Users > rep.Rows[j].Users
 		}
-		return rep.Rows[i].ASN < rep.Rows[j].ASN
+		if rep.Rows[i].ASN != rep.Rows[j].ASN {
+			return rep.Rows[i].ASN < rep.Rows[j].ASN
+		}
+		// (Users, ASN) ties can only cross countries (a (CC, ASN) pair
+		// appears at most once); breaking them makes the order a total
+		// one, independent of the counts' arrival order.
+		return rep.Rows[i].CC < rep.Rows[j].CC
 	})
 	for i := range rep.Rows {
 		rep.Rows[i].Rank = i + 1
 	}
 	return rep
+}
+
+// Generate produces the report for one day. Reports are independent: the
+// same (world, seed, date) always yields the same report regardless of
+// what was generated before.
+func (g *Generator) Generate(d dates.Date) *Report {
+	return g.AssembleReport(d, g.DayCounts(d))
 }
 
 // OrgUsers aggregates a report's estimated users to (country, org) pairs

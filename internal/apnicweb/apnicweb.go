@@ -20,6 +20,7 @@
 //
 // Plus:
 //
+//	GET /v1/live/{country}                     rolling streaming estimate, JSON (see live.go)
 //	GET /metrics                               Prometheus text (?format=json for JSON)
 //	GET /healthz                               liveness probe
 //
@@ -104,6 +105,10 @@ type Server struct {
 	notModified  *obsv.Counter
 	encGzip      *obsv.Counter
 	encIdentity  *obsv.Counter
+
+	// liveState holds the optional streaming estimator behind
+	// /v1/live/{country}; see live.go and SetLive.
+	liveState
 }
 
 // DefaultCacheDays bounds each day cache when NewServer is used: a year
@@ -257,6 +262,8 @@ func (s *Server) routeLabel(r *http.Request) string {
 		return "/v1/reports/:date"
 	case strings.HasPrefix(p, "/v1/series/"):
 		return "/v1/series/:asn"
+	case strings.HasPrefix(p, "/v1/live/"):
+		return "/v1/live/:cc"
 	case p == "/v1/dates", p == "/healthz", p == "/metrics":
 		return p
 	}
@@ -300,6 +307,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/dates", s.handleDates)
 	mux.HandleFunc("GET /v1/reports/{date}", s.handleReport)
 	mux.HandleFunc("GET /v1/series/{asn}", s.handleSeries)
+	mux.HandleFunc("GET /v1/live/{country}", s.handleLive)
 	mux.Handle("GET /metrics", s.metrics.Handler())
 	mux.Handle("/v1/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if _, pattern := inner.Handler(r); pattern == "" {
@@ -489,6 +497,28 @@ func (s *Server) serveImmutable(w http.ResponseWriter, r *http.Request, b immuta
 		return
 	}
 	h.Set("Content-Type", b.contentType)
+	if r.Method == http.MethodHead {
+		// Go 1.22 "GET /..." patterns also match HEAD, and before this
+		// check a HEAD request fell through to the body paths: the
+		// streaming routes rendered (and chunked) a full body net/http then
+		// had to discard, and a mid-render failure could panic with
+		// ErrAbortHandler on a request that never wanted bytes at all.
+		// Answer with the negotiated headers alone. Content-Length is
+		// declared only when the identity body is already materialized;
+		// gzip and streamed lengths are unknown without rendering, which is
+		// exactly the work HEAD exists to skip.
+		if gz {
+			h.Set("Content-Encoding", "gzip")
+			s.encGzip.Inc()
+		} else {
+			if b.body != nil && b.declareLen {
+				h.Set("Content-Length", strconv.Itoa(len(b.body)))
+			}
+			s.encIdentity.Inc()
+		}
+		w.WriteHeader(http.StatusOK)
+		return
+	}
 	if gz {
 		body, err := s.gzipBody(b)
 		if err != nil {

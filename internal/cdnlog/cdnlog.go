@@ -151,29 +151,60 @@ func (a *Aggregator) Add(rec Record) {
 // ReadFrom consumes newline-separated log lines until EOF, skipping blank
 // lines. It returns the number of parsed records and the first parse
 // error encountered (parsing continues past bad lines, as a log pipeline
-// must).
+// must). Lines of any length are handled — a pathological User-Agent
+// must not stall the feed — and a final line without a trailing newline
+// still parses.
 func (a *Aggregator) ReadFrom(r io.Reader) (parsed int64, firstErr error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" {
-			continue
+	// bufio.Scanner is the obvious tool here, but its token limit turns
+	// one oversized line into ErrTooLong and stops the whole scan — the
+	// remaining (valid) records would be silently dropped. Read with
+	// ReadSlice instead, accumulating continuation fragments, so an
+	// arbitrarily long line costs at most one allocation and never
+	// terminates the stream.
+	br := bufio.NewReaderSize(r, 64*1024)
+	var long []byte // continuation accumulator for lines longer than the buffer
+	take := func(line []byte) {
+		s := strings.TrimSuffix(string(line), "\n")
+		s = strings.TrimSuffix(s, "\r") // scanner-compatible CRLF handling
+		if s == "" {
+			return
 		}
-		rec, err := ParseRecord(line)
+		rec, err := ParseRecord(s)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
-			continue
+			return
 		}
 		a.Add(rec)
 		parsed++
 	}
-	if err := sc.Err(); err != nil && firstErr == nil {
-		firstErr = err
+	for {
+		frag, err := br.ReadSlice('\n')
+		switch {
+		case err == nil:
+			if len(long) == 0 {
+				take(frag)
+			} else {
+				long = append(long, frag...)
+				take(long)
+				long = long[:0]
+			}
+		case err == bufio.ErrBufferFull:
+			long = append(long, frag...)
+		case err == io.EOF:
+			// Unterminated final line: parse what's left.
+			if len(long) > 0 || len(frag) > 0 {
+				take(append(long, frag...))
+			}
+			return parsed, firstErr
+		default:
+			if firstErr == nil {
+				firstErr = err
+			}
+			return parsed, firstErr
+		}
 	}
-	return parsed, firstErr
 }
 
 // Stats returns the per-(country, org) reductions. The returned map is

@@ -246,3 +246,87 @@ func TestSamplerDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestReadFromLongLines is the regression test for the scanner-limit
+// bug: a pathological User-Agent far beyond any fixed token limit must
+// parse, and — critically — records after it must keep flowing. The old
+// bufio.Scanner implementation hit ErrTooLong and silently stopped the
+// whole feed.
+func TestReadFromLongLines(t *testing.T) {
+	client := firstClient(t)
+	hugeUA := strings.Repeat("M", 2<<20) // 2 MiB, over the old 1 MiB cap
+	long := Record{Client: client, Bytes: 7, BotScore: 90, UserAgent: hugeUA}
+	after := Record{Client: client, Bytes: 9, BotScore: 91, UserAgent: "tail/1.0"}
+
+	agg := NewAggregator(testW.DB, testW.Registry, 50)
+	input := long.String() + "\n" + after.String() + "\n"
+	parsed, err := agg.ReadFrom(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != 2 {
+		t.Fatalf("parsed = %d, want 2 (long line must not stop the feed)", parsed)
+	}
+	var reqs, bytesTotal int64
+	for _, st := range agg.Stats() {
+		reqs += st.Requests
+		bytesTotal += st.Bytes
+	}
+	if reqs != 2 || bytesTotal != 16 {
+		t.Fatalf("aggregated %d requests / %d bytes, want 2 / 16", reqs, bytesTotal)
+	}
+}
+
+// TestReadFromNoTrailingNewline is the regression test for the missing
+// final newline: the last record of a truncated log must still parse.
+func TestReadFromNoTrailingNewline(t *testing.T) {
+	client := firstClient(t)
+	first := Record{Client: client, Bytes: 3, BotScore: 88, UserAgent: "a"}
+	last := Record{Client: client, Bytes: 4, BotScore: 89, UserAgent: "b"}
+
+	agg := NewAggregator(testW.DB, testW.Registry, 50)
+	parsed, err := agg.ReadFrom(strings.NewReader(first.String() + "\n" + last.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != 2 {
+		t.Fatalf("parsed = %d, want 2 (unterminated final record dropped)", parsed)
+	}
+
+	// An unterminated line longer than the read buffer parses too.
+	hugeUA := strings.Repeat("U", 200_000)
+	big := Record{Client: client, Bytes: 1, BotScore: 77, UserAgent: hugeUA}
+	agg2 := NewAggregator(testW.DB, testW.Registry, 50)
+	parsed, err = agg2.ReadFrom(strings.NewReader(big.String()))
+	if err != nil || parsed != 1 {
+		t.Fatalf("unterminated long line: parsed=%d err=%v", parsed, err)
+	}
+}
+
+// TestReadFromOversizedGarbage: a multi-megabyte line that is not even
+// a record reports a parse error but never halts the stream.
+func TestReadFromOversizedGarbage(t *testing.T) {
+	client := firstClient(t)
+	good := Record{Client: client, Bytes: 2, BotScore: 95, UserAgent: "ok"}
+	input := strings.Repeat("x", 3<<20) + "\n" + good.String() + "\n"
+
+	agg := NewAggregator(testW.DB, testW.Registry, 50)
+	parsed, err := agg.ReadFrom(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("garbage line should surface a parse error")
+	}
+	if parsed != 1 {
+		t.Fatalf("parsed = %d, want 1 (garbage must not stop later records)", parsed)
+	}
+}
+
+// TestReadFromCRLF keeps scanner-compatible CRLF handling.
+func TestReadFromCRLF(t *testing.T) {
+	client := firstClient(t)
+	rec := Record{Client: client, Bytes: 6, BotScore: 80, UserAgent: "win"}
+	agg := NewAggregator(testW.DB, testW.Registry, 50)
+	parsed, err := agg.ReadFrom(strings.NewReader(rec.String() + "\r\n"))
+	if err != nil || parsed != 1 {
+		t.Fatalf("CRLF record: parsed=%d err=%v", parsed, err)
+	}
+}

@@ -115,23 +115,38 @@ func (s *Sampler) PairRecords(pair orgs.CountryOrg, d dates.Date, n int) []Recor
 	return out
 }
 
+// EachDayRecord streams the records of every active pair of a country on
+// a day, perOrg records each, in the same deterministic order WriteDay
+// serializes them. fn returning false stops the iteration early. This is
+// the replayable feed behind the streaming pipeline's log source: the
+// same (world, seed, country, day) always replays the same records.
+func (s *Sampler) EachDayRecord(country string, d dates.Date, perOrg int, fn func(Record) bool) {
+	m := s.w.Market(country)
+	if m == nil {
+		return
+	}
+	for _, e := range m.ActiveEntries(d) {
+		for _, rec := range s.PairRecords(orgs.CountryOrg{Country: country, Org: e.Org.ID}, d, perOrg) {
+			if !fn(rec) {
+				return
+			}
+		}
+	}
+}
+
 // WriteDay streams records for every active pair of a country on a day,
 // perOrg records each, as newline-separated log lines.
 func (s *Sampler) WriteDay(w io.Writer, country string, d dates.Date, perOrg int) (written int64, err error) {
-	m := s.w.Market(country)
-	if m == nil {
-		return 0, nil
-	}
 	buf := make([]byte, 0, 512)
-	for _, e := range m.ActiveEntries(d) {
-		for _, rec := range s.PairRecords(orgs.CountryOrg{Country: country, Org: e.Org.ID}, d, perOrg) {
-			buf = rec.Append(buf[:0])
-			buf = append(buf, '\n')
-			if _, err := w.Write(buf); err != nil {
-				return written, err
-			}
-			written++
+	s.EachDayRecord(country, d, perOrg, func(rec Record) bool {
+		buf = rec.Append(buf[:0])
+		buf = append(buf, '\n')
+		if _, werr := w.Write(buf); werr != nil {
+			err = werr
+			return false
 		}
-	}
-	return written, nil
+		written++
+		return true
+	})
+	return written, err
 }

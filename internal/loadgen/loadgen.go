@@ -64,10 +64,18 @@ type Config struct {
 }
 
 // RouteStats is one route kind's ledger for a run.
+//
+// Requests counts every *intended* request of the route, including
+// dispatches shed at a full queue: the coordinated-omission rule says a
+// request the schedule wanted but the system couldn't absorb belongs in
+// the denominator, with a latency sample measured from its intended
+// start — hiding it would make an overloaded run look faster. Shed
+// breaks out how many of those were shed; sheds are never errors.
 type RouteStats struct {
 	Route       string  `json:"route"`
 	Requests    int64   `json:"requests"`
-	Errors      int64   `json:"errors"` // transport failures + 5xx/4xx statuses
+	Shed        int64   `json:"shed,omitempty"` // open loop: dispatches dropped at a full queue
+	Errors      int64   `json:"errors"`         // transport failures + 5xx/4xx statuses
 	NotModified int64   `json:"not_modified"`
 	Gzipped     int64   `json:"gzipped"`
 	Mismatches  int64   `json:"mismatches"` // body-hash violations (VerifyBodies)
@@ -85,10 +93,10 @@ type RunResult struct {
 	Concurrency int          `json:"concurrency"`
 	RateHz      float64      `json:"rate_hz,omitempty"`
 	WallNS      int64        `json:"wall_ns"`
-	Requests    int64        `json:"requests"`   // completed (recorded) requests
+	Requests    int64        `json:"requests"`   // recorded requests: completions plus open-loop sheds (the intended-start denominator)
 	Dispatched  int64        `json:"dispatched"` // schedule ticks consumed; open-loop dispatches still in flight or queued at the deadline are dispatched but not completed
 	Errors      int64        `json:"errors"`
-	Dropped     int64        `json:"dropped"` // open loop: dispatches shed at a full queue
+	Dropped     int64        `json:"dropped"` // open loop: dispatches shed at a full queue (== sum of per-route Shed)
 	Herds       int64        `json:"herds"`
 	Throughput  float64      `json:"throughput_rps"`
 	Routes      []RouteStats `json:"routes"`
@@ -126,6 +134,21 @@ func (rec *recorder) observe(lat float64, status int, gz bool, n int64, failed b
 	if gz {
 		rec.stats.Gzipped++
 	}
+}
+
+// observeShed records one shed dispatch: a request the schedule
+// intended that never reached a worker. It joins the request count and
+// the latency population (its sample runs from the intended start to
+// the shed decision) but is not an error — the server never saw it.
+func (rec *recorder) observeShed(lat float64) {
+	if rec.hist != nil {
+		rec.hist.Observe(lat)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.latencies = append(rec.latencies, lat)
+	rec.stats.Requests++
+	rec.stats.Shed++
 }
 
 func (rec *recorder) finalize() RouteStats {
@@ -245,7 +268,10 @@ func Run(ctx context.Context, cfg Config) (*RunResult, error) {
 	}
 	r.recMu.Unlock()
 	if wall > 0 {
-		res.Throughput = float64(res.Requests) / wall.Seconds()
+		// Throughput counts only requests the server actually answered;
+		// sheds are in Requests for the latency/error denominators but
+		// never produced server work.
+		res.Throughput = float64(res.Requests-res.Dropped) / wall.Seconds()
 	}
 	return res, nil
 }
@@ -298,20 +324,33 @@ func (r *runner) runOpen(ctx context.Context) {
 	interval := time.Duration(float64(time.Second) / r.cfg.Rate)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	// Intended start times come from the schedule itself (t0 + n·interval),
+	// NOT from the ticker's delivery timestamps: deliveries slip whenever
+	// the dispatch loop stalls (a herd's barrier, a GC pause), and using
+	// them as the measurement origin would silently forgive exactly the
+	// delay an open-loop generator exists to expose.
+	t0 := time.Now()
 dispatch:
 	for {
 		select {
 		case <-ctx.Done():
 			break dispatch
-		case now := <-ticker.C:
+		case <-ticker.C:
 			n := r.dispatched.Add(1)
 			if r.cfg.Requests > 0 && n > int64(r.cfg.Requests) {
 				break dispatch
 			}
+			plan := model.Next()
+			intended := t0.Add(time.Duration(n) * interval)
 			select {
-			case queue <- tick{model.Next(), now}:
+			case queue <- tick{plan, intended}:
 			default:
+				// Shed, and account for it where it belongs: in the
+				// intended-start ledger of the route it would have hit.
+				// A shed is not an error — the server never saw it — and
+				// it must never be double-counted as one.
 				r.dropped.Add(1)
+				r.rec(plan.Route).observeShed(time.Since(intended).Seconds())
 			}
 			r.maybeHerd(ctx, n)
 		}

@@ -2,7 +2,9 @@ package loadgen
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -197,5 +199,82 @@ func TestClosedLoopContextCancel(t *testing.T) {
 	// returned a ledger and its workers had started dispatching.
 	if res == nil || res.Dispatched == 0 {
 		t.Fatalf("cancelled run returned %+v", res)
+	}
+}
+
+// TestOpenLoopShedAccounting is the regression test for the shed
+// ledger: wedge the server so the open-loop queue fills, and pin the
+// coordinated-omission invariants —
+//
+//   - sheds land in the per-route request counts (the intended-start
+//     denominator), each with a latency sample;
+//   - sum of per-route Shed equals RunResult.Dropped;
+//   - sheds are never counted as errors;
+//   - completions + sheds reconcile with the recorded request total.
+func TestOpenLoopShedAccounting(t *testing.T) {
+	var served atomic.Int64
+	gate := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-gate // every request wedges until the schedule has finished
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	// One worker, queue capacity Concurrency*4 = 4: the worker wedges on
+	// its first request, the queue fills within a handful of ticks, and
+	// the remaining dispatches of the 200-tick schedule (100ms at
+	// 2000/s) shed. The gate opens well after the schedule has drained;
+	// every invariant below holds regardless of where the release lands,
+	// the timing margin only maximizes the shed count.
+	const budget = 200
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		close(gate)
+	}()
+
+	model := DefaultModel(dates.New(2024, 4, 1), dates.New(2024, 4, 14))
+	res, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Model:       model,
+		Seed:        31,
+		Mode:        Open,
+		Concurrency: 1,
+		Requests:    budget,
+		Rate:        2000,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Dropped == 0 {
+		t.Fatal("no sheds despite a wedged single worker and a 4-slot queue")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors; sheds must never be double-counted as errors", res.Errors)
+	}
+	var shed, reqs, errs int64
+	for _, rt := range res.Routes {
+		shed += rt.Shed
+		reqs += rt.Requests
+		errs += rt.Errors
+		if rt.Shed > rt.Requests {
+			t.Fatalf("route %s: Shed %d > Requests %d", rt.Route, rt.Shed, rt.Requests)
+		}
+	}
+	if shed != res.Dropped {
+		t.Fatalf("per-route Shed sums to %d, RunResult.Dropped is %d", shed, res.Dropped)
+	}
+	if errs != 0 {
+		t.Fatalf("route ledgers carry %d errors", errs)
+	}
+	if reqs != res.Requests {
+		t.Fatalf("route requests sum to %d, RunResult.Requests is %d", reqs, res.Requests)
+	}
+	// Completions + sheds == recorded requests: nothing lost, nothing
+	// double-counted. (In-flight/queued dispatches at close are neither.)
+	if completed := res.Requests - res.Dropped; completed != served.Load() {
+		t.Fatalf("ledger says %d completions, server answered %d", completed, served.Load())
 	}
 }

@@ -1,0 +1,47 @@
+package stream
+
+import (
+	"repro/internal/netdb"
+	"repro/internal/orgs"
+)
+
+// Enricher resolves one raw event into an attributed impression. An
+// empty reason accepts the impression; a non-empty reason (one of
+// FilterReasons) drops the event and counts it.
+type Enricher interface {
+	Enrich(Event) (Impression, string)
+}
+
+// CDNEnricher replays the paper's §3.4 attribution on a live stream,
+// with the same semantics and ordering as cdnlog.Aggregator.Add: resolve
+// the client ASN by longest-prefix match (unrouted drops), map it to an
+// organization (unassigned drops), geolocate with the CDN's internal
+// true-country view, then apply the bot-score filter. The resolver is
+// the netdb read interface, so the compiled artifact (World.RoutingDB)
+// serves lookups allocation-free on this hot path.
+type CDNEnricher struct {
+	DB           netdb.Database
+	Registry     *orgs.Registry
+	BotThreshold int // drop records scoring below this (the paper keeps >= 50)
+}
+
+// Enrich resolves one record-level event.
+func (e *CDNEnricher) Enrich(ev Event) (Impression, string) {
+	asn := e.DB.ASN(ev.Rec.Client)
+	if asn == 0 {
+		return Impression{}, ReasonUnrouted
+	}
+	if _, ok := e.Registry.ByASN(asn); !ok {
+		return Impression{}, ReasonUnassigned
+	}
+	if ev.Rec.BotScore < e.BotThreshold {
+		return Impression{}, ReasonBot
+	}
+	return Impression{
+		Day:    ev.Day,
+		CC:     e.DB.TrueCountry(ev.Rec.Client),
+		ASN:    asn,
+		Weight: 1,
+		Bytes:  ev.Rec.Bytes,
+	}, ""
+}

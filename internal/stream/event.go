@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"time"
+
+	"repro/internal/cdnlog"
+	"repro/internal/dates"
+)
+
+// Event is one unit entering the pipeline: a raw log record tagged with
+// the report day it belongs to, or (for replay sources that already know
+// the attribution) a pre-resolved impression that bypasses the enrich
+// stage.
+type Event struct {
+	Day dates.Date
+	Rec cdnlog.Record
+
+	// Pre, when non-nil, is a pre-resolved impression; the enrich stage
+	// passes it through untouched. Replay sources use this to stream
+	// already-attributed counts.
+	Pre *Impression
+}
+
+// Impression is one enriched, attribution-resolved unit of ad sampling:
+// Weight impressions credited to (CC, ASN) on Day. Record-level sources
+// produce Weight 1; count-replay sources chunk larger weights.
+type Impression struct {
+	Day    dates.Date
+	CC     string
+	ASN    uint32
+	Weight int64
+	Bytes  int64
+}
+
+// Batch is one publisher delivery: a contiguous, in-order slice of
+// accepted impressions with a 1-based sequence number. Publishers see
+// every batch exactly once, in sequence order.
+type Batch struct {
+	Seq  int64
+	Imps []Impression
+}
+
+// Records sums the batch's impression weights.
+func (b Batch) Records() int64 {
+	var n int64
+	for _, imp := range b.Imps {
+		n += imp.Weight
+	}
+	return n
+}
+
+// Clock is the injectable time seam: Now for pacing arithmetic, After
+// for timers (source pacing, batch age flushes). The zero-dependency
+// analogue of a beats pipeline's ticker plumbing; tests drive manual
+// clocks for deterministic flushes.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }

@@ -1,0 +1,412 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cdnlog"
+	"repro/internal/dates"
+	"repro/internal/orgs"
+)
+
+// sourceFunc adapts a closure to the Source interface.
+type sourceFunc func(ctx context.Context, emit func(Event) bool) error
+
+func (f sourceFunc) Run(ctx context.Context, emit func(Event) bool) error { return f(ctx, emit) }
+
+// recordingSink captures every published batch and counts Close calls.
+type recordingSink struct {
+	mu      sync.Mutex
+	batches []Batch
+	closed  int
+	first   chan struct{} // closed on first Publish, if non-nil
+	gate    chan struct{} // Publish blocks on this once, if non-nil
+}
+
+func (r *recordingSink) Publish(b Batch) error {
+	if r.gate != nil {
+		<-r.gate
+		r.gate = nil
+	}
+	r.mu.Lock()
+	imps := append([]Impression(nil), b.Imps...)
+	r.batches = append(r.batches, Batch{Seq: b.Seq, Imps: imps})
+	if r.first != nil {
+		close(r.first)
+		r.first = nil
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *recordingSink) Close() error {
+	r.mu.Lock()
+	r.closed++
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *recordingSink) impressions() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, b := range r.batches {
+		n += int64(len(b.Imps))
+	}
+	return n
+}
+
+func preEvent(day dates.Date, asn uint32, weight int64) Event {
+	return Event{Day: day, Pre: &Impression{Day: day, CC: "FR", ASN: asn, Weight: weight}}
+}
+
+// TestShedPolicy wedges the publisher behind a gate so every queue
+// fills, and verifies the open-loop contract: the source is never
+// delayed, overflow is shed and counted, and the ledger still
+// reconciles exactly — nothing accepted is ever lost.
+func TestShedPolicy(t *testing.T) {
+	const total = 1000
+	d := dates.MustParse("2024-04-21")
+	gate := make(chan struct{})
+	sink := &recordingSink{gate: gate}
+
+	src := sourceFunc(func(ctx context.Context, emit func(Event) bool) error {
+		for i := 0; i < total; i++ {
+			if !emit(preEvent(d, uint32(i%7+1), 1)) {
+				break
+			}
+		}
+		close(gate) // source done; let the publisher drain
+		return nil
+	})
+
+	p, err := New(Config{
+		Source:        src,
+		Publisher:     sink,
+		OnFull:        Shed,
+		QueueLen:      1,
+		BatchQueueLen: 1,
+		MaxBatch:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	st := p.Stats()
+	if st.Emitted != total {
+		t.Fatalf("Emitted = %d, want %d", st.Emitted, total)
+	}
+	if st.SourceShed == 0 {
+		t.Fatal("expected sheds with a wedged publisher and queue length 1")
+	}
+	if st.Emitted != st.Accepted+st.SourceShed {
+		t.Fatalf("admission ledger broken: emitted %d != accepted %d + shed %d",
+			st.Emitted, st.Accepted, st.SourceShed)
+	}
+	if st.Accepted != st.Published || st.Filtered != 0 || st.PublishFailed != 0 {
+		t.Fatalf("drain ledger broken: %+v", st)
+	}
+	if got := sink.impressions(); got != st.Published {
+		t.Fatalf("publisher saw %d impressions, counters say %d", got, st.Published)
+	}
+	if sink.closed != 1 {
+		t.Fatalf("Close called %d times, want 1", sink.closed)
+	}
+}
+
+// testClock is a manual clock: After always hands back the same
+// unbuffered channel, so the test fires timers by sending on it.
+type testClock struct{ ch chan time.Time }
+
+func (c *testClock) Now() time.Time                       { return time.Time{} }
+func (c *testClock) After(time.Duration) <-chan time.Time { return c.ch }
+
+// TestAgeFlush proves a quiet stream still publishes: three impressions
+// sit below MaxBatch while the source stays alive, and only the age
+// timer (driven by the injected clock) can flush them.
+func TestAgeFlush(t *testing.T) {
+	d := dates.MustParse("2024-04-21")
+	clk := &testClock{ch: make(chan time.Time)}
+	first := make(chan struct{})
+	sink := &recordingSink{first: first}
+
+	src := sourceFunc(func(ctx context.Context, emit func(Event) bool) error {
+		for i := 0; i < 3; i++ {
+			if !emit(preEvent(d, uint32(i+1), 1)) {
+				return nil
+			}
+		}
+		<-first // hold the stream open until a batch has been published
+		return nil
+	})
+
+	p, err := New(Config{
+		Source:    src,
+		Publisher: sink,
+		MaxBatch:  100, // never reached
+		MaxAge:    time.Minute,
+		Clock:     clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background()) }()
+
+	// The only way anything can flush is the age timer: MaxBatch is out
+	// of reach and the source blocks until the first publish. Fire it.
+	clk.ch <- time.Time{}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.impressions(); got != 3 {
+		t.Fatalf("published %d impressions, want 3", got)
+	}
+	sink.mu.Lock()
+	nb := len(sink.batches)
+	firstLen := len(sink.batches[0].Imps)
+	sink.mu.Unlock()
+	if nb < 1 || firstLen >= 100 {
+		t.Fatalf("first flush should be age-driven: %d batches, first has %d imps", nb, firstLen)
+	}
+}
+
+// TestEnricherMatchesAggregator replays one day of sampled records both
+// through the batch cdnlog.Aggregator and through the streaming
+// pipeline's CDNEnricher, and demands identical attribution: the same
+// per-(country, org) request and byte totals, and the same drop
+// counts per reason.
+func TestEnricherMatchesAggregator(t *testing.T) {
+	w := testWorld()
+	s := cdnlog.NewSampler(w, 7)
+	db := w.RoutingDB()
+	d := dates.MustParse("2024-04-21")
+	const perOrg, bots = 4, 50
+	countries := []string{"FR", "JP"}
+
+	agg := cdnlog.NewAggregator(db, w.Registry, bots)
+	for _, cc := range countries {
+		s.EachDayRecord(cc, d, perOrg, func(rec cdnlog.Record) bool {
+			agg.Add(rec)
+			return true
+		})
+	}
+
+	sink := &recordingSink{}
+	p, err := New(Config{
+		Source:    &SamplerSource{Sampler: s, Countries: countries, From: d, Days: 1, PerOrg: perOrg},
+		Enrich:    &CDNEnricher{DB: db, Registry: w.Registry, BotThreshold: bots},
+		Publisher: sink,
+		MaxBatch:  128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fold published impressions to (country, org) through the same
+	// registry the aggregator used.
+	type pairSum struct{ reqs, bytes int64 }
+	got := map[orgs.CountryOrg]*pairSum{}
+	for _, b := range sink.batches {
+		for _, imp := range b.Imps {
+			org, ok := w.Registry.ByASN(imp.ASN)
+			if !ok {
+				t.Fatalf("published impression with unassigned ASN %d", imp.ASN)
+			}
+			key := orgs.CountryOrg{Country: imp.CC, Org: org.ID}
+			ps := got[key]
+			if ps == nil {
+				ps = &pairSum{}
+				got[key] = ps
+			}
+			ps.reqs += imp.Weight
+			ps.bytes += imp.Bytes
+		}
+	}
+
+	var wantPairs int
+	var wantBots int64
+	for key, st := range agg.Stats() {
+		wantBots += st.Bots
+		if st.Requests == 0 {
+			continue // all-bot pair: the stream publishes nothing for it
+		}
+		wantPairs++
+		ps := got[key]
+		if ps == nil {
+			t.Fatalf("pair %v missing from stream output", key)
+		}
+		if ps.reqs != st.Requests || ps.bytes != st.Bytes {
+			t.Fatalf("pair %v: stream (%d reqs, %d bytes) != batch (%d, %d)",
+				key, ps.reqs, ps.bytes, st.Requests, st.Bytes)
+		}
+	}
+	if len(got) != wantPairs {
+		t.Fatalf("stream produced %d pairs, batch %d", len(got), wantPairs)
+	}
+
+	if v := p.filtered[ReasonBot].Value(); v != wantBots {
+		t.Fatalf("filtered{bot} = %d, aggregator counted %d", v, wantBots)
+	}
+	if v := p.filtered[ReasonUnrouted].Value(); v != agg.Unrouted() {
+		t.Fatalf("filtered{unrouted} = %d, aggregator counted %d", v, agg.Unrouted())
+	}
+	if v := p.filtered[ReasonUnassigned].Value(); v != agg.Unassigned() {
+		t.Fatalf("filtered{unassigned} = %d, aggregator counted %d", v, agg.Unassigned())
+	}
+}
+
+// TestNoEnricherDropsRawRecords pins the nil-enricher rule: raw records
+// are unresolvable, pre-resolved impressions still pass.
+func TestNoEnricherDropsRawRecords(t *testing.T) {
+	d := dates.MustParse("2024-04-21")
+	sink := &recordingSink{}
+	src := sourceFunc(func(ctx context.Context, emit func(Event) bool) error {
+		emit(Event{Day: d}) // raw record, no enricher
+		emit(preEvent(d, 1, 2))
+		return nil
+	})
+	p, err := New(Config{Source: src, Publisher: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Filtered != 1 || p.filtered[ReasonUnresolvable].Value() != 1 {
+		t.Fatalf("want 1 unresolvable drop, got %+v", st)
+	}
+	if got := sink.impressions(); got != 1 {
+		t.Fatalf("published %d impressions, want 1", got)
+	}
+}
+
+// TestWriterSink checks the CSV line shape and the sticky-error rule.
+func TestWriterSink(t *testing.T) {
+	d := dates.MustParse("2024-04-21")
+	var buf bytes.Buffer
+	sink := &WriterSink{W: &buf}
+	b := Batch{Seq: 1, Imps: []Impression{
+		{Day: d, CC: "FR", ASN: 64500, Weight: 3, Bytes: 1234},
+		{Day: d.AddDays(1), CC: "JP", ASN: 64501, Weight: 1, Bytes: 0},
+	}}
+	if err := sink.Publish(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := "2024-04-21,FR,64500,3,1234\n2024-04-22,JP,64501,1,0\n"
+	if buf.String() != want {
+		t.Fatalf("CSV output:\n got  %q\n want %q", buf.String(), want)
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write(p []byte) (int, error) { return 0, f.err }
+
+type failingSink struct{ err error }
+
+func (f failingSink) Publish(Batch) error { return f.err }
+func (f failingSink) Close() error        { return nil }
+
+// TestPublisherErrorsAreCountedNotFatal drives batches into a sink that
+// rejects every Publish: Run survives (a log pipeline outlives its
+// sink's bad moments), and PublishFailed accounts for every impression.
+func TestPublisherErrorsAreCountedNotFatal(t *testing.T) {
+	d := dates.MustParse("2024-04-21")
+	src := sourceFunc(func(ctx context.Context, emit func(Event) bool) error {
+		for i := 0; i < 10; i++ {
+			if !emit(preEvent(d, uint32(i+1), 1)) {
+				break
+			}
+		}
+		return nil
+	})
+	p, err := New(Config{Source: src, Publisher: failingSink{err: errors.New("sink down")}, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr := p.Run(context.Background()); runErr != nil {
+		t.Fatalf("publish errors must not be fatal, Run returned %v", runErr)
+	}
+	st := p.Stats()
+	if st.PublishFailed != 10 || st.Published != 0 {
+		t.Fatalf("want all 10 impressions counted failed: %+v", st)
+	}
+	if st.Published+st.PublishFailed != st.Accepted {
+		t.Fatalf("ledger broken with failing sink: %+v", st)
+	}
+}
+
+// TestWriterSinkStickyError pins the sticky-error rule: after a write
+// failure every later Publish refuses with the same error and Close
+// surfaces it.
+func TestWriterSinkStickyError(t *testing.T) {
+	d := dates.MustParse("2024-04-21")
+	werr := errors.New("disk full")
+	sink := &WriterSink{W: failWriter{err: werr}}
+	// Overflow bufio's buffer so the first Publish hits the writer.
+	big := Batch{Seq: 1, Imps: make([]Impression, 0, 200)}
+	for i := 0; i < 200; i++ {
+		big.Imps = append(big.Imps, Impression{Day: d, CC: "FR", ASN: 64500, Weight: 1, Bytes: 123456789})
+	}
+	if err := sink.Publish(big); !errors.Is(err, werr) {
+		t.Fatalf("Publish error = %v, want the write error", err)
+	}
+	if err := sink.Publish(Batch{Seq: 2, Imps: big.Imps[:1]}); !errors.Is(err, werr) {
+		t.Fatalf("sticky error lost: %v", err)
+	}
+	if err := sink.Close(); !errors.Is(err, werr) {
+		t.Fatalf("Close error = %v, want the write error", err)
+	}
+}
+
+// TestTeeFansOut delivers every batch to every publisher.
+func TestTeeFansOut(t *testing.T) {
+	d := dates.MustParse("2024-04-21")
+	a, b := &recordingSink{}, &recordingSink{}
+	src := sourceFunc(func(ctx context.Context, emit func(Event) bool) error {
+		for i := 0; i < 5; i++ {
+			emit(preEvent(d, uint32(i+1), 1))
+		}
+		return nil
+	})
+	p, err := New(Config{Source: src, Publisher: Tee{a, b}, MaxBatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if a.impressions() != 5 || b.impressions() != 5 {
+		t.Fatalf("tee delivered %d/%d impressions, want 5/5", a.impressions(), b.impressions())
+	}
+	if a.closed != 1 || b.closed != 1 {
+		t.Fatalf("tee closed %d/%d times, want 1/1", a.closed, b.closed)
+	}
+}
+
+// TestConfigValidation rejects incomplete configs.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Publisher: &recordingSink{}}); err == nil || !strings.Contains(err.Error(), "Source") {
+		t.Fatalf("missing source: err = %v", err)
+	}
+	if _, err := New(Config{Source: sourceFunc(func(context.Context, func(Event) bool) error { return nil })}); err == nil || !strings.Contains(err.Error(), "Publisher") {
+		t.Fatalf("missing publisher: err = %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package stream
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/apnic"
+	"repro/internal/cdnlog"
+	"repro/internal/dates"
+)
+
+// Source feeds events into the pipeline. Run emits until the source is
+// exhausted or emit returns false (pipeline shutdown); emit's return
+// value is the only shutdown signal a source must honor. Sources are
+// replayable: the same configuration emits the same event sequence.
+type Source interface {
+	Run(ctx context.Context, emit func(Event) bool) error
+}
+
+// SamplerSource replays the cdnlog sampler's synthetic request records
+// as a live stream: for each day in [From, From+Days), every country's
+// records in the sampler's deterministic order, optionally paced to Rate
+// events per second through the pipeline clock.
+type SamplerSource struct {
+	Sampler   *cdnlog.Sampler
+	Countries []string
+	From      dates.Date
+	Days      int
+	PerOrg    int // records per (country, org) pair per day
+
+	// Rate paces emission in events/second; <= 0 replays as fast as the
+	// pipeline accepts. Pacing waits on Clock, so tests with manual
+	// clocks control the schedule.
+	Rate  float64
+	Clock Clock
+}
+
+// Run replays the configured window. It never returns a non-nil error:
+// the sampler is infallible; the pipeline's admission edge handles loss.
+func (s *SamplerSource) Run(ctx context.Context, emit func(Event) bool) error {
+	clock := s.Clock
+	if clock == nil {
+		clock = realClock{}
+	}
+	pace := func() bool {
+		if s.Rate <= 0 {
+			return true
+		}
+		select {
+		case <-clock.After(time.Duration(float64(time.Second) / s.Rate)):
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	for i := 0; i < s.Days; i++ {
+		d := s.From.AddDays(i)
+		for _, cc := range s.Countries {
+			stop := false
+			s.Sampler.EachDayRecord(cc, d, s.PerOrg, func(rec cdnlog.Record) bool {
+				if !pace() || !emit(Event{Day: d, Rec: rec}) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if stop {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// CountSource replays the batch APNIC generator's raw per-AS window
+// counts as pre-resolved impression events, chunked so one AS's count
+// arrives as many events. Feeding these through the pipeline into a
+// RollingEstimator must reproduce the batch report exactly — the
+// convergence contract the equality tests pin.
+type CountSource struct {
+	Gen  *apnic.Generator
+	From dates.Date
+	Days int
+
+	// Chunk caps one event's weight (default: the whole AS count in one
+	// event). Smaller chunks exercise the estimator's aggregation.
+	Chunk int64
+}
+
+// Run replays the configured window's counts.
+func (s *CountSource) Run(ctx context.Context, emit func(Event) bool) error {
+	for i := 0; i < s.Days; i++ {
+		d := s.From.AddDays(i)
+		for _, c := range s.Gen.DayCounts(d) {
+			remaining := c.Samples
+			for remaining > 0 {
+				w := remaining
+				if s.Chunk > 0 && w > s.Chunk {
+					w = s.Chunk
+				}
+				remaining -= w
+				imp := &Impression{Day: d, CC: c.CC, ASN: c.ASN, Weight: w}
+				if !emit(Event{Day: d, Pre: imp}) {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
