@@ -9,9 +9,11 @@
 //	apnicgen -date 2024-04-21                      # single day to stdout
 //	apnicgen -dataset cdn -date 2024-04-21         # frame CSV of another dataset
 //	apnicgen -dataset cdn -format bin -out frames/ # binary frame artifacts
+//	apnicgen -dataset cdn -format binz -out frames/ # compressed binary artifacts
 //
 // -format bin emits the compact binary frame codec (the same bytes the
-// server's .bin route serves) instead of CSV; it requires -dataset, since
+// server's .bin route serves) and -format binz its compressed extension
+// (the .binz route's bytes) instead of CSV; both require -dataset, since
 // the legacy APNIC layout is CSV-only by definition.
 package main
 
@@ -28,6 +30,7 @@ import (
 	"repro/internal/itu"
 	"repro/internal/source/binfmt"
 	"repro/internal/source/bundle"
+	"repro/internal/source/framez"
 	"repro/internal/world"
 )
 
@@ -40,15 +43,15 @@ func main() {
 	out := flag.String("out", ".", "output directory for range mode")
 	dataset := flag.String("dataset", "",
 		"emit this dataset's frame CSV instead of the legacy APNIC layout (apnic, cdn, itu, mlab, dnscount, broadband, ixp)")
-	format := flag.String("format", "csv", "frame output format: csv or bin (requires -dataset)")
+	format := flag.String("format", "csv", "frame output format: csv, bin or binz (bin/binz require -dataset)")
 	flag.Parse()
 
-	if *format != "csv" && *format != "bin" {
-		fmt.Fprintf(os.Stderr, "apnicgen: unknown -format %q (want csv or bin)\n", *format)
+	if *format != "csv" && *format != "bin" && *format != "binz" {
+		fmt.Fprintf(os.Stderr, "apnicgen: unknown -format %q (want csv, bin or binz)\n", *format)
 		os.Exit(2)
 	}
-	if *format == "bin" && *dataset == "" {
-		fmt.Fprintln(os.Stderr, "apnicgen: -format bin requires -dataset; the legacy APNIC layout is CSV-only")
+	if *format != "csv" && *dataset == "" {
+		fmt.Fprintf(os.Stderr, "apnicgen: -format %s requires -dataset; the legacy APNIC layout is CSV-only\n", *format)
 		os.Exit(2)
 	}
 
@@ -73,16 +76,22 @@ func main() {
 			os.Exit(2)
 		}
 		prefix = *dataset
-		if *format == "bin" {
+		switch *format {
+		case "bin":
 			ext = binfmt.Suffix
+		case "binz":
+			ext = framez.Suffix
 		}
 		writeDay = func(d dates.Date, out io.Writer) error {
 			f, err := b.Registry.Frame(*dataset, d)
 			if err != nil {
 				return err
 			}
-			if *format == "bin" {
+			switch *format {
+			case "bin":
 				return binfmt.Write(f, out)
+			case "binz":
+				return framez.Write(f, out)
 			}
 			return f.WriteCSV(out)
 		}

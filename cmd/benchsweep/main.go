@@ -8,6 +8,7 @@
 //
 //	benchsweep [-seed N] [-parallel 1,0] [-out BENCH_sweep.json] [-max-allocs N] [-max-regress-pct P] [-baseline FILE]
 //	           [-max-bin-decode-allocs N] [-min-bin-speedup X]
+//	           [-max-binz-decode-allocs N] [-min-binz-ratio X]
 //
 // Parallelism 0 means GOMAXPROCS. Allocation counts are runtime.MemStats
 // deltas around the sweep itself — lab construction (world build) is
@@ -27,10 +28,14 @@
 //
 // The report also carries a wire-format matrix: encode/decode ns per op,
 // bytes/sec, and decode allocs per op for each dataset under the csv,
-// json, and binary frame codecs. -max-bin-decode-allocs gates the binary
-// decoder's O(1) allocation promise; -min-bin-speedup gates the binary
-// round trip's bytes/sec advantage over CSV (the reason the binary data
-// plane exists).
+// json, binary (bin), and compressed binary (binz) frame codecs.
+// -max-bin-decode-allocs gates the binary decoder's O(1) allocation
+// promise; -min-bin-speedup gates the binary round trip's bytes/sec
+// advantage over CSV (the reason the binary data plane exists);
+// -max-binz-decode-allocs gates the compressed decoder's O(columns)
+// allocation promise; -min-binz-ratio gates the compression win — every
+// dataset's .bin body must be at least that many times the size of its
+// .binz body.
 package main
 
 import (
@@ -48,6 +53,7 @@ import (
 	"repro/internal/source"
 	"repro/internal/source/binfmt"
 	"repro/internal/source/bundle"
+	"repro/internal/source/framez"
 	"repro/internal/world"
 )
 
@@ -86,7 +92,7 @@ type SourceTiming struct {
 // decode allocation count — the number the binary plane exists to crush.
 type CodecTiming struct {
 	Source            string  `json:"source"`
-	Codec             string  `json:"codec"` // "csv", "json", "bin"
+	Codec             string  `json:"codec"` // "csv", "json", "bin", "binz"
 	Bytes             int     `json:"bytes"` // encoded body size
 	EncodeNSOp        int64   `json:"encode_ns_op"`
 	DecodeNSOp        int64   `json:"decode_ns_op"`
@@ -137,6 +143,10 @@ func main() {
 		"fail if any dataset's binary decode allocates more than this per op (0 = no gate)")
 	minBinSpeedup := flag.Float64("min-bin-speedup", 0,
 		"fail if the apnic binary encode+decode round trip is not at least this many times the CSV round trip in bytes/sec (0 = no gate)")
+	maxBinzDecodeAllocs := flag.Float64("max-binz-decode-allocs", 0,
+		"fail if any dataset's compressed binary decode allocates more than this per op (0 = no gate)")
+	minBinzRatio := flag.Float64("min-binz-ratio", 0,
+		"fail if any dataset's bin/binz size ratio is below this (0 = no gate)")
 	flag.Parse()
 
 	var levels []int
@@ -232,6 +242,41 @@ func main() {
 			if ct.Codec == "bin" && ct.DecodeAllocsPerOp > *maxBinDecodeAllocs {
 				fmt.Fprintf(os.Stderr, "binary decode alloc budget exceeded for %s: %.1f > %.1f allocs/op\n",
 					ct.Source, ct.DecodeAllocsPerOp, *maxBinDecodeAllocs)
+				os.Exit(1)
+			}
+		}
+	}
+	if *maxBinzDecodeAllocs > 0 {
+		for _, ct := range rep.Codecs {
+			if ct.Codec == "binz" && ct.DecodeAllocsPerOp > *maxBinzDecodeAllocs {
+				fmt.Fprintf(os.Stderr, "compressed binary decode alloc budget exceeded for %s: %.1f > %.1f allocs/op\n",
+					ct.Source, ct.DecodeAllocsPerOp, *maxBinzDecodeAllocs)
+				os.Exit(1)
+			}
+		}
+	}
+	if *minBinzRatio > 0 {
+		// Size ratio per dataset: the compressed plane must beat the raw
+		// binary body everywhere, by at least the configured factor. The
+		// floor is set by the least compressible dataset (itu: one column
+		// of full-entropy float64 mantissas bounds its lossless ratio near
+		// 1.3x; the other six sit between 2x and 5x).
+		size := map[string]map[string]int{}
+		for _, ct := range rep.Codecs {
+			if size[ct.Source] == nil {
+				size[ct.Source] = map[string]int{}
+			}
+			size[ct.Source][ct.Codec] = ct.Bytes
+		}
+		for src, byCodec := range size {
+			bin, binz := byCodec["bin"], byCodec["binz"]
+			if bin == 0 || binz == 0 {
+				fmt.Fprintf(os.Stderr, "binz ratio gate: missing bin/binz row for %s\n", src)
+				os.Exit(1)
+			}
+			if ratio := float64(bin) / float64(binz); ratio < *minBinzRatio {
+				fmt.Fprintf(os.Stderr, "binz compression gate failed for %s: bin/binz = %.2fx < %.2fx (%d vs %d bytes)\n",
+					src, ratio, *minBinzRatio, bin, binz)
 				os.Exit(1)
 			}
 		}
@@ -367,6 +412,7 @@ var frameCodecs = []frameCodec{
 		},
 		func(b []byte) (*source.Frame, error) { return source.ReadJSON(bytes.NewReader(b)) }},
 	{"bin", binfmt.Encode, binfmt.Decode},
+	{"binz", framez.Encode, framez.Decode},
 }
 
 // measureCodecs fills the wire-format matrix: for every dataset's

@@ -60,6 +60,7 @@ import (
 	"repro/internal/source"
 	"repro/internal/source/binfmt"
 	"repro/internal/source/bundle"
+	"repro/internal/source/framez"
 	"repro/internal/syncx"
 	"repro/internal/world"
 )
@@ -175,9 +176,10 @@ func newServer(reg *source.Registry, apnicSrc *apnic.Source, first, last dates.D
 	if cacheDays < 1 {
 		cacheDays = 1
 	}
-	// Idempotent when the bundle already injected it; the APNIC-only
-	// constructors build a bare registry that must learn the codec here.
+	// Idempotent when the bundle already injected them; the APNIC-only
+	// constructors build a bare registry that must learn the codecs here.
 	reg.SetBinCodec(binfmt.Encode)
+	reg.SetBinzCodec(framez.Encode)
 	rosterCap := cacheDays * max(1, len(reg.Names()))
 	s := &Server{
 		reg:            reg,
@@ -370,32 +372,40 @@ func (s *Server) handleDatasetDates(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleDatasetReport serves one dataset-day in one of three
+// handleDatasetReport serves one dataset-day in one of four
 // representations: "{date}.csv" as frame CSV, "{date}.bin" (or a bare
 // date with Accept: application/x-frame-bin) as the binary columnar
-// encoding, and a bare "{date}" otherwise as frame JSON. All three carry
-// a strong ETag derived from the frame content hash (variant-suffixed,
-// so no two representations share a validator) and negotiate gzip
-// through serveImmutable. Text identity bodies stream row-by-row and are
-// never materialized server-side; binary bodies are served from the
-// registry's memoized encoding — the compact artifact IS the cache.
+// encoding, "{date}.binz" (or Accept: application/x-frame-binz) as the
+// compressed binary encoding, and a bare "{date}" otherwise as frame
+// JSON. All four carry a strong ETag derived from the frame content
+// hash (variant-suffixed, so no two representations share a validator)
+// and negotiate gzip through serveImmutable — except binz, which is
+// already entropy-coded and always serves identity. Text identity
+// bodies stream row-by-row and are never materialized server-side;
+// binary bodies are served from the registry's memoized encodings — the
+// compact artifact IS the cache.
 func (s *Server) handleDatasetReport(w http.ResponseWriter, r *http.Request) {
 	src, ok := s.lookupDataset(w, r)
 	if !ok {
 		return
 	}
 	name := r.PathValue("date")
-	var wantCSV, wantBin bool
+	var wantCSV, wantBin, wantBinz bool
 	if trimmed, ok := strings.CutSuffix(name, ".csv"); ok {
 		name, wantCSV = trimmed, true
+	} else if trimmed, ok := strings.CutSuffix(name, framez.Suffix); ok {
+		name, wantBinz = trimmed, true
 	} else if trimmed, ok := strings.CutSuffix(name, binfmt.Suffix); ok {
 		name, wantBin = trimmed, true
+	} else if accept := r.Header.Get("Accept"); acceptsFrameBinz(accept) {
+		// A client naming both frame media types gets the compressed one.
+		wantBinz = true
 	} else {
-		wantBin = acceptsFrameBin(r.Header.Get("Accept"))
+		wantBin = acceptsFrameBin(accept)
 	}
 	d, err := dates.Parse(name)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, "bad date (want YYYY-MM-DD, YYYY-MM-DD.csv or YYYY-MM-DD.bin)")
+		jsonError(w, http.StatusBadRequest, "bad date (want YYYY-MM-DD, YYYY-MM-DD.csv, YYYY-MM-DD.bin or YYYY-MM-DD.binz)")
 		return
 	}
 	if d.Before(s.first) || d.After(s.last) {
@@ -410,8 +420,13 @@ func (s *Server) handleDatasetReport(w http.ResponseWriter, r *http.Request) {
 		err = f.Check()
 	}
 	var binBody []byte
-	if err == nil && wantBin {
-		binBody, err = s.reg.FrameBin(src.Name(), d)
+	if err == nil {
+		switch {
+		case wantBin:
+			binBody, err = s.reg.FrameBin(src.Name(), d)
+		case wantBinz:
+			binBody, err = s.reg.FrameBinz(src.Name(), d)
+		}
 	}
 	if err != nil {
 		s.renderErrs.Inc()
@@ -430,6 +445,11 @@ func (s *Server) handleDatasetReport(w http.ResponseWriter, r *http.Request) {
 			jsonError(w, code, msg)
 		},
 	}
+	// The generic report routes negotiate their representation from the
+	// Accept header, so every response (all four representations — the
+	// suffix paths serve the same resources) must tell shared caches the
+	// body varies on it.
+	b.varyAccept = true
 	switch {
 	case wantBin:
 		b.repr, b.contentType = "bin", binfmt.ContentType
@@ -437,6 +457,14 @@ func (s *Server) handleDatasetReport(w http.ResponseWriter, r *http.Request) {
 		// Binary bodies are materialized (the memoized artifact is the
 		// response), so the exact length can be declared up front.
 		b.declareLen = true
+	case wantBinz:
+		b.repr, b.contentType = "binz", framez.ContentType
+		b.body = binBody
+		b.declareLen = true
+		// Already entropy-coded: gzip on top costs CPU on both ends for
+		// negative savings, so the representation is identity-only and
+		// never enters the pre-compressed LRU.
+		b.noGzip = true
 	case wantCSV:
 		b.repr, b.contentType = "csv", "text/csv; charset=utf-8"
 		b.stream = func(w io.Writer) error { return s.writeFrameCSV(f, w) }
@@ -459,7 +487,7 @@ func (s *Server) frameHash(dataset string, d dates.Date, f *source.Frame) string
 // are cached anyway for the byte-identity contract) or a streamable
 // render (generic frame routes). Exactly one of body and stream is set.
 type immutableBody struct {
-	repr        string // representation key: "csv", "json", "bin", "legacy"
+	repr        string // representation key: "csv", "json", "bin", "binz", "legacy"
 	dataset     string
 	day         dates.Date
 	contentType string
@@ -467,6 +495,8 @@ type immutableBody struct {
 	body        []byte                // identity bytes, when already materialized
 	stream      func(io.Writer) error // identity streamer otherwise
 	declareLen  bool                  // set Content-Length for identity body bytes
+	noGzip      bool                  // pre-compressed representation: identity only
+	varyAccept  bool                  // representation was negotiated from Accept
 	fail        func(code int, msg string)
 }
 
@@ -481,14 +511,25 @@ type immutableBody struct {
 // last, after every fallible step, because once it starts the only
 // honest way to report failure is aborting the connection (streamBody).
 func (s *Server) serveImmutable(w http.ResponseWriter, r *http.Request, b immutableBody) {
-	gz := acceptsGzip(r.Header.Get("Accept-Encoding"))
+	gz := !b.noGzip && acceptsGzip(r.Header.Get("Accept-Encoding"))
 	variant := b.repr
 	if gz {
 		variant += ".gz"
 	}
 	etag := source.FormatETag(b.hash, variant)
 	h := w.Header()
-	h.Set("Vary", "Accept-Encoding")
+	if b.varyAccept {
+		// The generic routes pick csv/json/bin/binz from the Accept header
+		// (the bare-date path most visibly): without Accept in Vary a
+		// shared cache could answer a browser's JSON request with a binary
+		// body stored for a frame client. Sent on 304s too — revalidation
+		// updates stored response metadata.
+		h.Set("Vary", "Accept, Accept-Encoding")
+	} else {
+		// Legacy routes serve one fixed representation per path; their
+		// headers (like their bytes) are pinned by the compatibility tests.
+		h.Set("Vary", "Accept-Encoding")
+	}
 	h.Set("ETag", etag)
 	h.Set("Cache-Control", "public, max-age=86400")
 	if etagMatch(r.Header.Get("If-None-Match"), etag) {
@@ -578,6 +619,21 @@ func (s *Server) streamBody(w http.ResponseWriter, b immutableBody) {
 	}
 }
 
+// gzipWriters pools gzip.Writer instances for the pre-compressed-LRU
+// fill path. A gzip writer carries ~1.3MB of deflate state (hash chains,
+// window, output buffers); constructing one per cache fill made every
+// cold gzip request pay that allocation and the GC churn behind it.
+// Reset rebinds a pooled writer to a new destination with the same
+// BestSpeed level, and gzip output is a pure function of (input, level),
+// so reuse is byte-identical to a fresh writer — pinned by
+// TestGzipWriterPoolByteIdentical.
+var gzipWriters = sync.Pool{
+	New: func() any {
+		zw, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+		return zw
+	},
+}
+
 // gzipBody returns the cached gzip representation, rendering and
 // compressing it at most once per (repr, dataset, day) while resident.
 // The fill renders from the immutable artifact, never from a client
@@ -587,7 +643,8 @@ func (s *Server) streamBody(w http.ResponseWriter, b immutableBody) {
 func (s *Server) gzipBody(b immutableBody) ([]byte, error) {
 	day := s.gzips.Get(gzKey{b.repr, b.dataset, b.day.DayNumber()}, func() csvDay {
 		var buf bytes.Buffer
-		zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+		zw := gzipWriters.Get().(*gzip.Writer)
+		zw.Reset(&buf)
 		var err error
 		if b.body != nil {
 			_, err = zw.Write(b.body)
@@ -597,6 +654,9 @@ func (s *Server) gzipBody(b immutableBody) ([]byte, error) {
 		if cerr := zw.Close(); err == nil {
 			err = cerr
 		}
+		// Pool even after an error: Reset clears sticky write errors, and
+		// a closed writer is reusable by contract.
+		gzipWriters.Put(zw)
 		if err != nil {
 			// Deterministic render: the failure recurs on every attempt,
 			// so caching it is sound (and repeat requests see one message).
@@ -1128,6 +1188,44 @@ func (c *Client) FrameBin(ctx context.Context, dataset string, d dates.Date) (*s
 		return nil, fmt.Errorf("apnicweb: reading %s %s: %w", dataset, d, err)
 	}
 	f, err := binfmt.Decode(buf)
+	if err != nil {
+		return nil, fmt.Errorf("apnicweb: decoding %s %s: %w", dataset, d, err)
+	}
+	return f, nil
+}
+
+// FrameBinz fetches one dataset-day over the compressed binary
+// representation and decodes it. Like FrameBin it negotiates via the
+// Accept header; unlike FrameBin the returned frame owns its memory
+// (framez decode is self-contained), so the response buffer is garbage
+// the moment decoding returns. The server never gzips this
+// representation, so the body read is the wire transfer.
+func (c *Client) FrameBinz(ctx context.Context, dataset string, d dates.Date) (*source.Frame, error) {
+	u, err := url.JoinPath(c.BaseURL, "/v1/", dataset, "/reports/", d.String())
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", framez.ContentType)
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorf(u, resp)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != framez.ContentType {
+		return nil, fmt.Errorf("apnicweb: GET %s: server answered %q, not %q", u, ct, framez.ContentType)
+	}
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("apnicweb: reading %s %s: %w", dataset, d, err)
+	}
+	f, err := framez.Decode(buf)
 	if err != nil {
 		return nil, fmt.Errorf("apnicweb: decoding %s %s: %w", dataset, d, err)
 	}

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/source/binfmt"
+	"repro/internal/source/framez"
 )
 
 // etagMatch reports whether any entity tag in an If-None-Match header
@@ -83,9 +84,20 @@ func acceptsGzip(acceptEncoding string) bool {
 // must keep getting JSON; only a client that names the media type opts
 // into the binary plane.
 func acceptsFrameBin(accept string) bool {
+	return acceptsMediaType(accept, binfmt.ContentType)
+}
+
+// acceptsFrameBinz is the same opt-in for the compressed binary
+// representation (application/x-frame-binz). A client naming both frame
+// media types gets binz: it asked for the denser plane.
+func acceptsFrameBinz(accept string) bool {
+	return acceptsMediaType(accept, framez.ContentType)
+}
+
+func acceptsMediaType(accept, want string) bool {
 	for _, part := range strings.Split(accept, ",") {
 		mediaType, params, _ := strings.Cut(part, ";")
-		if !strings.EqualFold(strings.TrimSpace(mediaType), binfmt.ContentType) {
+		if !strings.EqualFold(strings.TrimSpace(mediaType), want) {
 			continue
 		}
 		if q, ok := qValue(params); ok && q == 0 {

@@ -1,0 +1,77 @@
+package apnicweb
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+)
+
+// freshGzip compresses p with a brand-new BestSpeed writer: the
+// reference output the pooled path must reproduce exactly.
+func freshGzip(t *testing.T, p []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGzipWriterPoolByteIdentical pins the safety property the pooled
+// fill path in gzipBody relies on: a gzip.Writer reused via Reset emits
+// exactly the bytes a fresh writer would, for every input — including
+// empty bodies and inputs compressed right after a very different one
+// (stale hash-chain state is what Reset must clear). The same writer
+// instance is driven through increasingly dissimilar payloads and each
+// output is compared byte-for-byte against a fresh-writer reference.
+func TestGzipWriterPoolByteIdentical(t *testing.T) {
+	bodies := [][]byte{
+		[]byte(strings.Repeat("FR,AS5410,Bouygues Telecom,1234.5\n", 500)),
+		nil, // empty body
+		[]byte("short"),
+		bytes.Repeat([]byte{0x00, 0xFF, 0x7A, 0x03}, 4096), // binary-ish
+		[]byte(strings.Repeat("zzzzzzzz", 2000)),
+	}
+
+	// One writer reused across every body, out of the server's own pool.
+	zw := gzipWriters.Get().(*gzip.Writer)
+	defer gzipWriters.Put(zw)
+	for round := 0; round < 2; round++ { // second round: reuse after reuse
+		for i, body := range bodies {
+			want := freshGzip(t, body)
+			var buf bytes.Buffer
+			zw.Reset(&buf)
+			if _, err := zw.Write(body); err != nil {
+				t.Fatalf("round %d body %d: %v", round, i, err)
+			}
+			if err := zw.Close(); err != nil {
+				t.Fatalf("round %d body %d: %v", round, i, err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("round %d body %d: pooled writer output differs from fresh writer (%d vs %d bytes)",
+					round, i, buf.Len(), len(want))
+			}
+			// And the pooled bytes still decompress to the input.
+			zr, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := io.ReadAll(zr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, body) {
+				t.Fatalf("round %d body %d: decompressed bytes differ", round, i)
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/dates"
 	"repro/internal/obsv"
 	"repro/internal/source/binfmt"
+	"repro/internal/source/framez"
 )
 
 // Mode selects the loop discipline.
@@ -471,8 +472,20 @@ func (r *runner) do(ctx context.Context, plan Request, intended time.Time) {
 			// Binary identity bodies additionally carry a checksum and a
 			// strict structure: decode them so corruption inside a stable
 			// body (same bytes, bad frame) cannot hide behind the hash.
-			if plan.Route == RouteReportBin && !plan.Gzip {
-				if _, err := binfmt.Decode(body); err != nil {
+			// The compressed binary representation is verified on BOTH
+			// variants — the server contract is that binz never gets a gzip
+			// layer, so a gzip-offering request still receives the identity
+			// artifact and the decode doubles as an end-to-end check of
+			// that: a Content-Encoding: gzip body would fail the magic.
+			var verify func([]byte) error
+			switch {
+			case plan.Route == RouteReportBin && !plan.Gzip:
+				verify = func(b []byte) error { _, err := binfmt.Decode(b); return err }
+			case plan.Route == RouteReportBinz:
+				verify = func(b []byte) error { _, err := framez.Decode(b); return err }
+			}
+			if verify != nil {
+				if err := verify(body); err != nil {
 					failed = true
 					rec := r.rec(plan.Route)
 					rec.mu.Lock()

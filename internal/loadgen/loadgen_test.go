@@ -96,7 +96,7 @@ func TestClosedLoopBurst(t *testing.T) {
 			t.Errorf("route %s quantiles not monotone: %+v", rs.Route, rs)
 		}
 	}
-	for _, route := range []string{RouteReportBin, RouteReportCSV, RouteReportJSON, RouteLegacyCSV, RouteDates, RouteSeries, RouteHerd} {
+	for _, route := range []string{RouteReportBinz, RouteReportBin, RouteReportCSV, RouteReportJSON, RouteLegacyCSV, RouteDates, RouteSeries, RouteHerd} {
 		if !seen[route] {
 			t.Errorf("route %s missing from a 400-request burst", route)
 		}

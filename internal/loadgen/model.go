@@ -25,6 +25,7 @@ import (
 // Route kinds emitted by the model. These are also the bounded label set
 // for per-route stats, so they stay a small fixed vocabulary.
 const (
+	RouteReportBinz = "report-binz" // /v1/{dataset}/reports/{date}.binz
 	RouteReportBin  = "report-bin"  // /v1/{dataset}/reports/{date}.bin
 	RouteReportCSV  = "report-csv"  // /v1/{dataset}/reports/{date}.csv
 	RouteReportJSON = "report-json" // /v1/{dataset}/reports/{date}
@@ -35,15 +36,17 @@ const (
 )
 
 // routeMix is the cumulative distribution over route kinds, modelled on
-// a dashboard-plus-bulk-export workload: a fifth of traffic takes the
-// binary frame plane (programmatic bulk consumers), the bulk fetches
-// full-day CSVs, another slice takes JSON, and a tail hits the legacy
-// alias, the dates index, and per-AS series.
+// a dashboard-plus-bulk-export workload: over a quarter of traffic takes
+// the binary frame plane (programmatic bulk consumers, split between the
+// compressed and raw encodings), the bulk fetches full-day CSVs, another
+// slice takes JSON, and a tail hits the legacy alias, the dates index,
+// and per-AS series.
 var routeMix = []struct {
 	route string
 	cum   float64
 }{
-	{RouteReportBin, 0.20},
+	{RouteReportBinz, 0.12},
+	{RouteReportBin, 0.28},
 	{RouteReportCSV, 0.55},
 	{RouteReportJSON, 0.75},
 	{RouteLegacyCSV, 0.85},
@@ -127,6 +130,8 @@ func (m *Model) Next() Request {
 	}
 	ds := m.datasets[m.zipf.Uint64()]
 	switch route {
+	case RouteReportBinz:
+		req.Path = "/v1/" + ds + "/reports/" + m.pickDay().String() + ".binz"
 	case RouteReportBin:
 		req.Path = "/v1/" + ds + "/reports/" + m.pickDay().String() + ".bin"
 	case RouteReportCSV:

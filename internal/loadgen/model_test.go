@@ -68,7 +68,7 @@ func TestModelShape(t *testing.T) {
 			cond++
 		}
 		switch req.Route {
-		case RouteReportBin, RouteReportCSV, RouteReportJSON, RouteLegacyCSV:
+		case RouteReportBinz, RouteReportBin, RouteReportCSV, RouteReportJSON, RouteLegacyCSV:
 			rest := strings.TrimPrefix(req.Path, "/v1/")
 			if req.Route != RouteLegacyCSV {
 				ds, r, ok := strings.Cut(rest, "/")
@@ -80,6 +80,7 @@ func TestModelShape(t *testing.T) {
 			}
 			day := strings.TrimPrefix(rest, "reports/")
 			day = strings.TrimSuffix(day, ".csv")
+			day = strings.TrimSuffix(day, ".binz")
 			day = strings.TrimSuffix(day, ".bin")
 			d, err := dates.Parse(day)
 			if err != nil {
@@ -106,10 +107,14 @@ func TestModelShape(t *testing.T) {
 	if routeCount[RouteSeries] == 0 || routeCount[RouteDates] == 0 {
 		t.Errorf("route mix missing tails: %v", routeCount)
 	}
-	// The binary share is a first-class slice of the mix (cum 0.20), not a
-	// rounding artifact: expect roughly a fifth of draws.
-	if f := float64(routeCount[RouteReportBin]) / draws; f < 0.15 || f > 0.25 {
-		t.Errorf("binary route fraction %.3f, want ~0.20", f)
+	// The binary plane is a first-class slice of the mix (cum 0.28 split
+	// 0.12 binz / 0.16 bin), not a rounding artifact: expect both
+	// encodings near their shares.
+	if f := float64(routeCount[RouteReportBinz]) / draws; f < 0.08 || f > 0.16 {
+		t.Errorf("binz route fraction %.3f, want ~0.12", f)
+	}
+	if f := float64(routeCount[RouteReportBin]) / draws; f < 0.12 || f > 0.20 {
+		t.Errorf("bin route fraction %.3f, want ~0.16", f)
 	}
 	// Mean exponential offset is halfLife/ln2 ≈ 1.44*hl ≈ 10.1 days; the
 	// clamp only pulls it down. Anything near uniform (≈183) is a bug.

@@ -17,6 +17,7 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/source"
 	"repro/internal/source/binfmt"
+	"repro/internal/source/framez"
 	"repro/internal/world"
 )
 
@@ -104,10 +105,12 @@ func New(w *world.World, seed uint64, cfg Config) *Bundle {
 		Broadband: broadband.NewSource(bbGen, metrics, days),
 		IXP:       ixp.NewSource(ixpGen, metrics, days),
 	}
-	// The binary frame codec lives above source (binfmt imports it), so
-	// this is also where the registry learns to encode frames; every
-	// consumer built from the bundle can then serve FrameBin.
+	// The binary frame codecs live above source (binfmt and framez both
+	// import it), so this is also where the registry learns to encode
+	// frames; every consumer built from the bundle can then serve both
+	// FrameBin and FrameBinz.
 	b.Registry.SetBinCodec(binfmt.Encode)
+	b.Registry.SetBinzCodec(framez.Encode)
 	b.Registry.Register(b.APNIC)
 	b.Registry.Register(b.CDN)
 	b.Registry.Register(b.ITU)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ixp"
 	"repro/internal/mlab"
 	"repro/internal/source"
+	"repro/internal/source/framez"
 	"repro/internal/world"
 )
 
@@ -232,5 +233,51 @@ func TestBundleDeterminism(t *testing.T) {
 		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
 			t.Errorf("%s: two same-seed bundles disagree", name)
 		}
+	}
+}
+
+// TestBinzRoundTripAllSources runs the compressed binary codec over
+// every registered dataset through the registry's memoized path: the
+// decoded frame must equal the generated one cell-for-cell, re-encode
+// byte-identically (the canonical-format invariant), and come out
+// strictly smaller than the raw binary plane — the ≥2x ratio itself is
+// enforced per dataset by benchsweep's -min-binz-ratio gate.
+func TestBinzRoundTripAllSources(t *testing.T) {
+	b := New(testW, 42, Config{})
+	for _, name := range b.Registry.Names() {
+		t.Run(name, func(t *testing.T) {
+			f, err := b.Registry.Frame(name, testDay)
+			if err != nil {
+				t.Fatal(err)
+			}
+			z, err := b.Registry.FrameBinz(name, testDay)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := framez.Decode(z)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !f.Equal(g) {
+				t.Fatal("frame changed across compressed binary round trip")
+			}
+			again, err := framez.Encode(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(z, again) {
+				t.Fatal("re-encoded compressed bytes differ")
+			}
+			raw, err := b.Registry.FrameBin(name, testDay)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(z) >= len(raw) {
+				t.Fatalf("binz %d bytes is not smaller than bin %d bytes", len(z), len(raw))
+			}
+			if memo, err := b.Registry.FrameBinz(name, testDay); err != nil || !bytes.Equal(memo, z) {
+				t.Fatalf("memoized FrameBinz differs: %v", err)
+			}
+		})
 	}
 }

@@ -1,0 +1,49 @@
+package framez
+
+import (
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/source/binfmt"
+)
+
+// Benchmarks report throughput against the *logical* frame size (the
+// raw binfmt bytes), so bin and binz numbers are directly comparable:
+// bytes/sec means "how fast does a frame of this much data move", not
+// "how fast do we chew compressed bytes".
+func benchFrame(b *testing.B) (*source.Frame, int64) {
+	f := wideFrame(10000)
+	raw, err := binfmt.Encode(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, int64(len(raw))
+}
+
+func BenchmarkBinzEncode(b *testing.B) {
+	f, logical := benchFrame(b)
+	b.SetBytes(logical)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinzDecode(b *testing.B) {
+	f, logical := benchFrame(b)
+	buf, err := Encode(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(logical)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

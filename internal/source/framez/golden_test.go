@@ -1,0 +1,62 @@
+package framez
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/source"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden version-1 bytes")
+
+// Two golden files pin two different promises. frame_v1.binz encodes the
+// 3-row sample frame: every payload is below the flate floor, so its
+// bytes depend only on the container and transforms — drift there is a
+// wire-format break and needs a Version bump. wide_v1.binz encodes a
+// 300-row frame whose columns do take the flate pass, so it additionally
+// pins the compression level and compress/flate's determinism; it can
+// legitimately change on a Go toolchain upgrade (regenerate with -update
+// and say so in the commit), but never within one toolchain.
+func TestGoldenBytes(t *testing.T) {
+	cases := []struct {
+		path  string
+		frame *source.Frame
+	}{
+		{"testdata/frame_v1.binz", sampleFrame()},
+		{"testdata/wide_v1.binz", wideFrame(300)},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *update {
+			if err := os.MkdirAll(filepath.Dir(c.path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(c.path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (%d bytes)", c.path, len(got))
+			continue
+		}
+		want, err := os.ReadFile(c.path)
+		if err != nil {
+			t.Fatalf("%v (run with -update to generate)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: version-%d encoding drifted from the committed golden bytes (%d vs %d); "+
+				"a deliberate format change must bump Version and add a new golden file", c.path, Version, len(got), len(want))
+		}
+		f, err := Decode(want)
+		if err != nil {
+			t.Fatalf("%s: %v", c.path, err)
+		}
+		if !f.Equal(c.frame) {
+			t.Fatalf("%s: golden bytes no longer decode to the pinned frame", c.path)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package framez
+
+const raceEnabled = false

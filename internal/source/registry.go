@@ -16,9 +16,14 @@ var ErrUnknownSource = errors.New("source: unknown dataset")
 // injected with SetBinCodec.
 var ErrNoBinCodec = errors.New("source: no binary frame codec registered")
 
+// ErrNoBinzCodec is returned by FrameBinz when no compressed binary
+// codec has been injected with SetBinzCodec.
+var ErrNoBinzCodec = errors.New("source: no compressed binary frame codec registered")
+
 // BinCodec serializes a frame into its binary wire form. The registry
-// cannot import binfmt (binfmt imports this package for Frame), so the
-// codec is injected at wiring time — bundle.New hands in binfmt.Encode.
+// cannot import binfmt or framez (both import this package for Frame),
+// so the codecs are injected at wiring time — bundle.New hands in
+// binfmt.Encode and framez.Encode.
 type BinCodec func(*Frame) ([]byte, error)
 
 // binResult memoizes one day's encoded bytes together with the encode
@@ -44,12 +49,14 @@ type Registry struct {
 	names   []string // registration order
 	entries map[string]*regEntry
 	bin     BinCodec
+	binz    BinCodec
 }
 
 type regEntry struct {
 	src    Source
 	frames *Days[*Frame]
 	bins   *Days[binResult]
+	binzs  *Days[binResult]
 }
 
 // NewRegistry returns a registry whose per-dataset frame caches hold at
@@ -85,6 +92,7 @@ func (r *Registry) Register(s Source) {
 		src:    s,
 		frames: NewDays[*Frame](r.metrics, "source_frame", name, r.capacity),
 		bins:   NewDays[binResult](r.metrics, "source_bin", name, r.capacity),
+		binzs:  NewDays[binResult](r.metrics, "source_binz", name, r.capacity),
 	}
 	r.names = append(r.names, name)
 }
@@ -163,6 +171,48 @@ func (r *Registry) FrameBinCacheStats(name string) (CacheStats, bool) {
 		return CacheStats{}, false
 	}
 	return e.bins.Stats(), true
+}
+
+// SetBinzCodec injects the compressed binary frame codec FrameBinz
+// encodes with.
+func (r *Registry) SetBinzCodec(codec BinCodec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.binz = codec
+}
+
+// FrameBinz returns the memoized compressed binary encoding of one
+// dataset-day, mirroring FrameBin: a cold request fills the frame cache,
+// and the compressed bytes are cached independently (prefix
+// "source_binz") so repeat hits pay neither the generate nor the
+// transform+deflate cost. The returned slice is shared: callers must
+// treat it as read-only.
+func (r *Registry) FrameBinz(name string, d dates.Date) ([]byte, error) {
+	e, ok := r.entry(name)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownSource, name)
+	}
+	r.mu.RLock()
+	codec := r.binz
+	r.mu.RUnlock()
+	if codec == nil {
+		return nil, ErrNoBinzCodec
+	}
+	res := e.binzs.Get(d, func(d dates.Date) binResult {
+		b, err := codec(e.frames.Get(d, e.src.Generate))
+		return binResult{b: b, err: err}
+	})
+	return res.b, res.err
+}
+
+// FrameBinzCacheStats returns the compressed-encoding cache activity
+// for one dataset.
+func (r *Registry) FrameBinzCacheStats(name string) (CacheStats, bool) {
+	e, ok := r.entry(name)
+	if !ok {
+		return CacheStats{}, false
+	}
+	return e.binzs.Stats(), true
 }
 
 // Window returns the registered source's window.
