@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/source"
 	"repro/internal/source/binfmt"
 	"repro/internal/source/bundle"
@@ -101,16 +102,28 @@ type CodecTiming struct {
 	DecodeAllocsPerOp float64 `json:"decode_allocs_per_op"`
 }
 
+// ScenarioTiming is one scenario's full world-build cost, recorded so
+// the declarative shock layer's overhead over the hard-coded paper
+// world stays visible as a trend. OverheadPct is relative to the paper
+// row (the paper row itself reads 0).
+type ScenarioTiming struct {
+	Name        string  `json:"name"`
+	BuildNS     int64   `json:"build_ns"`
+	Mallocs     int64   `json:"mallocs"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 // Report is the whole BENCH_sweep.json document.
 type Report struct {
-	GeneratedUnix int64          `json:"generated_unix"`
-	GoVersion     string         `json:"go_version"`
-	NumCPU        int            `json:"num_cpu"`
-	GOMAXPROCS    int            `json:"gomaxprocs"`
-	Seed          uint64         `json:"seed"`
-	Sweeps        []Sweep        `json:"sweeps"`
-	Sources       []SourceTiming `json:"sources"`
-	Codecs        []CodecTiming  `json:"codecs"`
+	GeneratedUnix int64            `json:"generated_unix"`
+	GoVersion     string           `json:"go_version"`
+	NumCPU        int              `json:"num_cpu"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	Seed          uint64           `json:"seed"`
+	Sweeps        []Sweep          `json:"sweeps"`
+	Sources       []SourceTiming   `json:"sources"`
+	Codecs        []CodecTiming    `json:"codecs"`
+	Scenarios     []ScenarioTiming `json:"scenarios"`
 
 	// History holds prior runs' headline sweeps, oldest first, capped at
 	// historyCap entries. Each new run folds the previous report's first
@@ -210,6 +223,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "codec  %-10s %-4s: %8s enc=%s/op dec=%s/op dec=%s/s allocs/dec=%.0f\n",
 			ct.Source, ct.Codec, fmtBytes(int64(ct.Bytes)), time.Duration(ct.EncodeNSOp),
 			time.Duration(ct.DecodeNSOp), fmtBytes(int64(ct.DecodeBytesPerSec)), ct.DecodeAllocsPerOp)
+	}
+
+	rep.Scenarios = measureScenarios(*seed)
+	for _, st := range rep.Scenarios {
+		fmt.Fprintf(os.Stderr, "scenario %-14s: build=%s mallocs=%d overhead=%+.1f%%\n",
+			st.Name, time.Duration(st.BuildNS), st.Mallocs, st.OverheadPct)
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
@@ -382,6 +401,46 @@ func measureSources(seed uint64) []SourceTiming {
 			AllocBytes: int64(after.TotalAlloc - before.TotalAlloc),
 			Rows:       f.Rows(),
 		})
+	}
+	return out
+}
+
+// measureScenarios times a full world.Build under the paper scenario
+// and one representative counterfactual, so the cost of routing every
+// shock through the declarative scenario layer is a recorded trend, not
+// a guess. Builds are slow enough (hundreds of ms) that a small fixed
+// iteration count is adequate resolution for the percent-level question
+// this row answers.
+func measureScenarios(seed uint64) []ScenarioTiming {
+	const iters = 3
+	roster := []*scenario.Scenario{scenario.Paper()}
+	if cg, ok := scenario.ByName("cgnat-wave"); ok {
+		roster = append(roster, cg)
+	}
+
+	var out []ScenarioTiming
+	for _, scn := range roster {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := world.Build(world.Config{Seed: seed, Scenario: scn}); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsweep: scenario %s: %v\n", scn.Name, err)
+				os.Exit(1)
+			}
+		}
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		st := ScenarioTiming{
+			Name:    scn.Name,
+			BuildNS: elapsed.Nanoseconds() / iters,
+			Mallocs: int64(after.Mallocs-before.Mallocs) / iters,
+		}
+		if len(out) > 0 && out[0].BuildNS > 0 {
+			st.OverheadPct = 100 * (float64(st.BuildNS)/float64(out[0].BuildNS) - 1)
+		}
+		out = append(out, st)
 	}
 	return out
 }

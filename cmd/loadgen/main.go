@@ -34,11 +34,15 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"repro/internal/apnic"
 	"repro/internal/apnicweb"
 	"repro/internal/dates"
+	"repro/internal/itu"
 	"repro/internal/loadgen"
+	"repro/internal/stream"
 	"repro/internal/world"
 )
 
@@ -61,6 +65,8 @@ func main() {
 		condFrac  = flag.Float64("cond-fraction", 0.3, "fraction of repeat requests sent conditionally")
 		herdEvery = flag.Int("herd-every", 500, "thundering herd every N dispatches (0 = off)")
 		herdSize  = flag.Int("herd-size", 16, "goroutines per herd")
+		liveCCs   = flag.String("live-countries", "FR,DE,US,BR,JP",
+			"comma-separated countries for the live-poll route share (empty = no live traffic)")
 		verify    = flag.Bool("verify", true, "hash bodies and fail on byte drift per path+encoding")
 		out       = flag.String("out", "BENCH_load.json", "output path")
 		baseline  = flag.String("baseline", "", "baseline report for the gates and history (default: -out before overwrite)")
@@ -96,6 +102,7 @@ func main() {
 		GzipFraction:   *gzipFrac,
 		CondFraction:   *condFrac,
 		SeriesPaths:    seriesPaths(logger, baseURL, firstD, lastD),
+		LiveCountries:  splitCCs(*liveCCs),
 	}
 
 	var modes []loadgen.Mode
@@ -170,6 +177,17 @@ func main() {
 func startSelf(logger *log.Logger, seed uint64, first, last dates.Date, cacheDays int) string {
 	w := world.MustBuild(world.Config{Seed: seed})
 	srv := apnicweb.NewMultiServer(w, seed, first, last, cacheDays)
+
+	// Attach a live rolling estimator primed with the last served day, so
+	// the live-poll route share exercises the full 200/304 path (an
+	// unprimed estimator would answer nothing but contract 503s).
+	gen := apnic.New(w, itu.New(w, seed), seed)
+	est := stream.NewRollingEstimator(gen)
+	for _, c := range gen.DayCounts(last) {
+		est.Observe(stream.Impression{Day: last, CC: c.CC, ASN: c.ASN, Weight: c.Samples})
+	}
+	srv.SetLive(est)
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		logger.Fatal(err)
@@ -210,4 +228,15 @@ func seriesPaths(logger *log.Logger, baseURL string, first, last dates.Date) []s
 
 func secs(v float64) string {
 	return time.Duration(v * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// splitCCs parses the -live-countries list, dropping empty elements.
+func splitCCs(s string) []string {
+	var out []string
+	for _, cc := range strings.Split(s, ",") {
+		if cc = strings.TrimSpace(cc); cc != "" {
+			out = append(out, strings.ToUpper(cc))
+		}
+	}
+	return out
 }

@@ -16,8 +16,12 @@
 //   - Rows with fewer than MinSamples (empirically ≥120 in the paper,
 //     §4.2) are dropped, which is why APNIC misses the long tail of tiny
 //     networks the CDN still observes.
-//   - Event shocks: Google pausing ads in Russia (March 2022) and
-//     government shutdown days (Myanmar) suppress sampling.
+//   - Event shocks: scenario events (internal/scenario) suppress
+//     sampling — the paper world's Russia ads pause (March 2022) and
+//     Myanmar's government shutdown days, or any counterfactual shock a
+//     non-paper scenario declares (CGNAT rollouts, other ad-market
+//     exits). The generator reads them through the world's per-market
+//     compiled view; nothing country-specific is hard-coded here.
 package apnic
 
 import (
@@ -41,9 +45,6 @@ const DefaultSampleRate = 0.034
 
 // DefaultMinSamples is the empirical inclusion floor the paper observed.
 const DefaultMinSamples = 120
-
-// russiaAdsPaused is when Google paused ads in Russia (§3.2, §4.4).
-var russiaAdsPaused = dates.New(2022, 3, 10)
 
 // Generator produces daily APNIC-style reports over a world.
 type Generator struct {
@@ -153,12 +154,15 @@ type Report struct {
 	aggUsers map[orgs.CountryOrg]float64
 }
 
-// adReach returns the effective country ad reach on a date, applying the
-// Russia ads pause.
-func (g *Generator) adReach(m *world.Market, country string, d dates.Date) float64 {
+// adReach returns the effective country ad reach on a date: the geo
+// registry's baseline times whatever sampling shocks the world's scenario
+// has active (ad-market exits, CGNAT rollouts). The paper scenario
+// compiles Russia's 2022-03-10 ads pause to a single 0.25 step, so this
+// computes exactly the `reach *= 0.25` the pre-scenario code did.
+func (g *Generator) adReach(m *world.Market, d dates.Date) float64 {
 	reach := m.Country.AdReach
-	if country == "RU" && !d.Before(russiaAdsPaused) {
-		reach *= 0.25
+	if sh := m.Shocks(); sh != nil && sh.HasSampling() {
+		reach *= sh.SamplingFactor(d.DayNumber())
 	}
 	return reach
 }
@@ -193,7 +197,7 @@ func (g *Generator) OrgSamples(country, orgID string, d dates.Date) int64 {
 // the allocation-free inner loop of Generate and the per-country scans.
 func (g *Generator) orgSamples(m *world.Market, country string, e *world.Entry, d dates.Date) int64 {
 	apparent := g.W.APNICUsers(country, e.Org.ID, d)
-	mean := apparent * g.adReach(m, country, d) * e.AdFactor * e.APNICBias *
+	mean := apparent * g.adReach(m, d) * e.AdFactor * e.APNICBias *
 		g.SampleRate * g.windowNoise(m, e, d) * g.shutdownFactor(country, d)
 	if mean <= 0 {
 		return 0

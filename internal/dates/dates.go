@@ -169,3 +169,15 @@ func Range(from, to Date, step int) []Date {
 
 // YearStart returns January 1 of the given year.
 func YearStart(y int) Date { return Date{Year: y, Month: 1, Day: 1} }
+
+// WeekIndex returns the 7-day bucket of a date counted from the epoch
+// (floor division, so pre-1970 dates land in the correct bucket). The ITU
+// revision series and the scenario engine's registry-spike events must
+// agree on week boundaries, so both use this single definition.
+func WeekIndex(d Date) int {
+	n := d.DayNumber()
+	if n < 0 {
+		n -= 6
+	}
+	return n / 7
+}

@@ -13,8 +13,14 @@ import (
 // (the APNIC dataset itself plus M-Lab) — and runs the reliability
 // checklist.
 func RunCountryChecks(l *Lab, cc string, d dates.Date) core.Report {
-	an := elasticityAnalysis(l)
+	return RunCountryChecksWith(l, elasticityAnalysis(l), cc, d)
+}
 
+// RunCountryChecksWith is RunCountryChecks with the elasticity analysis
+// supplied by the caller. The analysis is a whole-world fit, identical for
+// every country on a day, so batch callers (CheckAll, the fleet sweeps)
+// compute it once instead of once per country.
+func RunCountryChecksWith(l *Lab, an core.ElasticityAnalysis, cc string, d dates.Date) core.Report {
 	samples, users := l.APNIC.CountryTotals(cc, d)
 
 	// A week of daily share snapshots for the stability check.
@@ -51,9 +57,10 @@ func RunCountryChecks(l *Lab, cc string, d dates.Date) core.Report {
 // CheckAll runs the artifact checks for every country on a day and
 // returns the reports keyed by country code.
 func CheckAll(l *Lab, d dates.Date) map[string]core.Report {
+	an := elasticityAnalysis(l)
 	out := map[string]core.Report{}
 	for _, cc := range l.W.Countries() {
-		out[cc] = RunCountryChecks(l, cc, d)
+		out[cc] = RunCountryChecksWith(l, an, cc, d)
 	}
 	return out
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/mlab"
 	"repro/internal/obsv"
 	"repro/internal/rir"
+	"repro/internal/scenario"
 	"repro/internal/source/bundle"
 	"repro/internal/syncx"
 	"repro/internal/world"
@@ -105,9 +106,27 @@ const LabVantages = 24
 // ceiling on residency.
 const LabCacheDays = 4200
 
-// NewLab builds a world and all generators from one seed.
+// NewLab builds a world and all generators from one seed, under the paper
+// scenario.
 func NewLab(seed uint64) *Lab {
-	w := world.MustBuild(world.Config{Seed: seed})
+	l, err := NewLabScenario(seed, nil)
+	if err != nil {
+		// nil selects scenario.Paper(), which always compiles.
+		panic(err)
+	}
+	return l
+}
+
+// NewLabScenario builds a world under an explicit scenario (nil selects
+// scenario.Paper()) and wires all measurement generators to it. The
+// generators are scenario-agnostic: they read shocks through the world's
+// market seams, so a lab over a counterfactual world exercises exactly
+// the measurement code paths the paper lab does.
+func NewLabScenario(seed uint64, scn *scenario.Scenario) (*Lab, error) {
+	w, err := world.Build(world.Config{Seed: seed, Scenario: scn})
+	if err != nil {
+		return nil, err
+	}
 	ituEst := itu.New(w, seed)
 	l := &Lab{
 		Seed:      seed,
@@ -136,7 +155,7 @@ func NewLab(seed uint64) *Lab {
 	l.popReqs = l.Metrics.Counter("lab_path_popularity_requests_total")
 	l.popGens = l.Metrics.Counter("lab_path_popularity_runs_total")
 	l.Metrics.GaugeFunc("lab_path_popularity_cache_entries", func() float64 { return float64(l.pops.Len()) })
-	return l
+	return l, nil
 }
 
 // Report returns the cached APNIC report for a day, generating it at most

@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// sweep runs a small 2-seed sweep over paper + cgnat-wave.
+func sweep(t *testing.T) *Report {
+	t.Helper()
+	cg, ok := scenario.ByName("cgnat-wave")
+	if !ok {
+		t.Fatal("no cgnat-wave builtin")
+	}
+	rep, err := Run(Config{
+		SeedBase:  42,
+		Seeds:     2,
+		Scenarios: []*scenario.Scenario{cg},
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSweepDeterministicAndFlips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds six worlds")
+	}
+	a := sweep(t)
+	b := sweep(t)
+
+	amd, bmd := a.Markdown(), b.Markdown()
+	if amd != bmd {
+		t.Fatal("markdown differs between identical sweeps")
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatal("JSON differs between identical sweeps")
+	}
+
+	if len(a.Scenarios) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(a.Scenarios))
+	}
+	if a.Scenarios[0].Scenario != "paper" {
+		t.Fatalf("first scenario = %s, want paper", a.Scenarios[0].Scenario)
+	}
+	if len(a.Scenarios[0].Flips) != 0 {
+		t.Fatal("paper scenario must have no flips against itself")
+	}
+
+	// The CGNAT wave suppresses BR/IN/ID samples ~20×, exploding the
+	// users-per-sample ratio out of the elasticity band: the sweep must
+	// observe at least one pass→fail flip on that check.
+	cg := a.Scenarios[1]
+	if cg.Scenario != "cgnat-wave" {
+		t.Fatalf("second scenario = %s", cg.Scenario)
+	}
+	found := false
+	for _, f := range cg.Flips {
+		if f.Check == "elasticity-band" && f.PassToFail > 0 {
+			found = true
+			if len(f.Examples) == 0 {
+				t.Error("flip stat has no examples")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("cgnat-wave did not flip elasticity-band; flips = %+v", cg.Flips)
+	}
+
+	// Aggregation bookkeeping: every check row covers seeds × countries.
+	for _, s := range a.Scenarios {
+		for _, c := range s.Checks {
+			if c.Total == 0 || c.Passed > c.Total {
+				t.Fatalf("%s/%s: bad stat %+v", s.Scenario, c.Name, c)
+			}
+		}
+	}
+}
+
+func TestRosterWithPaper(t *testing.T) {
+	cg, _ := scenario.ByName("cgnat-wave")
+	out := rosterWithPaper([]*scenario.Scenario{cg})
+	if len(out) != 2 || out[0].Name != "paper" || out[1].Name != "cgnat-wave" {
+		t.Fatalf("roster = %v", names(out))
+	}
+	// Paper supplied mid-list is hoisted, not duplicated.
+	out = rosterWithPaper([]*scenario.Scenario{cg, scenario.Paper()})
+	if len(out) != 2 || out[0].Name != "paper" {
+		t.Fatalf("roster = %v", names(out))
+	}
+}
+
+func names(ss []*scenario.Scenario) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}

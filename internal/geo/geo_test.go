@@ -8,40 +8,42 @@ import (
 func TestRegistryIntegrity(t *testing.T) {
 	seen := map[string]bool{}
 	for _, c := range All() {
-		if len(c.Code) != 2 {
-			t.Errorf("%s: code must be two characters", c.Code)
+		if err := c.Validate(); err != nil {
+			t.Error(err)
 		}
 		if seen[c.Code] {
 			t.Errorf("%s: duplicate country code", c.Code)
 		}
 		seen[c.Code] = true
-		if c.Name == "" {
-			t.Errorf("%s: missing name", c.Code)
-		}
-		if c.Population <= 0 {
-			t.Errorf("%s: non-positive population", c.Code)
-		}
-		if c.Pen2013 < 0 || c.Pen2013 > 1 || c.Pen2024 < 0 || c.Pen2024 > 1 {
-			t.Errorf("%s: penetration out of [0,1]", c.Code)
-		}
-		if c.Freedom < 0 || c.Freedom > 100 {
-			t.Errorf("%s: freedom index out of range", c.Code)
-		}
-		if c.AdReach < 0 || c.AdReach > 1 {
-			t.Errorf("%s: ad reach out of [0,1]", c.Code)
-		}
-		if c.AdVolatility < 0 || c.AdVolatility > 1 {
-			t.Errorf("%s: ad volatility out of range", c.Code)
-		}
-		if c.HouseholdSize < 1 {
-			t.Errorf("%s: household size < 1", c.Code)
-		}
-		if c.ShutdownRate < 0 || c.ShutdownRate > 1 {
-			t.Errorf("%s: shutdown rate out of range", c.Code)
-		}
 	}
 	if len(seen) < 100 {
 		t.Errorf("registry has %d countries, want >= 100", len(seen))
+	}
+}
+
+func TestValidateRejectsBadRows(t *testing.T) {
+	base, _ := ByCode("FR")
+	cases := []struct {
+		name   string
+		mutate func(*Country)
+	}{
+		{"bad code", func(c *Country) { c.Code = "FRA" }},
+		{"missing name", func(c *Country) { c.Name = "" }},
+		{"zero population", func(c *Country) { c.Population = 0 }},
+		{"pen2013 high", func(c *Country) { c.Pen2013 = 1.2 }},
+		{"pen2024 negative", func(c *Country) { c.Pen2024 = -0.1 }},
+		{"freedom high", func(c *Country) { c.Freedom = 101 }},
+		{"ad reach high", func(c *Country) { c.AdReach = 1.5 }},
+		{"ad volatility negative", func(c *Country) { c.AdVolatility = -0.2 }},
+		{"household below 1", func(c *Country) { c.HouseholdSize = 0.5 }},
+		{"shutdown rate high", func(c *Country) { c.ShutdownRate = 1.3 }},
+	}
+	for _, tc := range cases {
+		c := base
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid row", tc.name)
+		}
 	}
 }
 

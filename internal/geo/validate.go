@@ -1,0 +1,43 @@
+package geo
+
+import "fmt"
+
+// Validate checks one country row against the registry's invariants: the
+// bounds every simulation input must satisfy before any generator divides
+// by, samples from, or interpolates over it. The static registry is tested
+// against it, and the scenario loader revalidates rows after applying
+// overrides (a shutdown-rate override of 1.3 must be rejected exactly like
+// a typo in the registry would be).
+func (c Country) Validate() error {
+	if len(c.Code) != 2 {
+		return fmt.Errorf("geo: %q: code must be two characters", c.Code)
+	}
+	if c.Name == "" {
+		return fmt.Errorf("geo: %s: missing name", c.Code)
+	}
+	if c.Population <= 0 {
+		return fmt.Errorf("geo: %s: non-positive population %d", c.Code, c.Population)
+	}
+	if c.Pen2013 < 0 || c.Pen2013 > 1 {
+		return fmt.Errorf("geo: %s: 2013 penetration %v out of [0,1]", c.Code, c.Pen2013)
+	}
+	if c.Pen2024 < 0 || c.Pen2024 > 1 {
+		return fmt.Errorf("geo: %s: 2024 penetration %v out of [0,1]", c.Code, c.Pen2024)
+	}
+	if c.Freedom < 0 || c.Freedom > 100 {
+		return fmt.Errorf("geo: %s: freedom index %d out of [0,100]", c.Code, c.Freedom)
+	}
+	if c.AdReach < 0 || c.AdReach > 1 {
+		return fmt.Errorf("geo: %s: ad reach %v out of [0,1]", c.Code, c.AdReach)
+	}
+	if c.AdVolatility < 0 || c.AdVolatility > 1 {
+		return fmt.Errorf("geo: %s: ad volatility %v out of [0,1]", c.Code, c.AdVolatility)
+	}
+	if c.HouseholdSize < 1 {
+		return fmt.Errorf("geo: %s: household size %v < 1", c.Code, c.HouseholdSize)
+	}
+	if c.ShutdownRate < 0 || c.ShutdownRate > 1 {
+		return fmt.Errorf("geo: %s: shutdown rate %v out of [0,1]", c.Code, c.ShutdownRate)
+	}
+	return nil
+}

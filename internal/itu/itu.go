@@ -33,15 +33,10 @@ func New(w *world.World, seed uint64) *Estimator {
 	}
 }
 
-// weekIndex returns the ISO-ish week bucket of a date (7-day blocks since
-// the epoch), the granularity at which the ITU series is revised.
-func weekIndex(d dates.Date) int {
-	n := d.DayNumber()
-	if n < 0 {
-		n -= 6
-	}
-	return n / 7
-}
+// weekIndex is the revision granularity of the series: dates.WeekIndex,
+// shared with the scenario engine so a declared spike week and the
+// estimator agree on bucket boundaries.
+func weekIndex(d dates.Date) int { return dates.WeekIndex(d) }
 
 // Derivation channel keys for the weekly revision and anomaly streams.
 const (
@@ -68,11 +63,19 @@ func (e *Estimator) Users(country string, d dates.Date) float64 {
 }
 
 // spikeFactor returns the anomaly multiplier for a (country, week).
-// France's 2019-05-13 week is a guaranteed event; every country
-// additionally has a small number of random anomaly weeks per decade.
+// Scenario registry-spike events are guaranteed (the paper world's France
+// 2019-05-13 week, ≈ +6M users on a ~62M base); every country additionally
+// has a small number of random anomaly weeks per decade. The guaranteed
+// check precedes the random draw, exactly as the hard-coded France check
+// did, and the derivation is stateless, so the random realization for
+// every other week is unchanged.
 func (e *Estimator) spikeFactor(country string, key uint64, wk int) float64 {
-	if country == "FR" && wk == weekIndex(dates.New(2019, 5, 13)) {
-		return 1.10 // ≈ +6M users on a ~62M base
+	if m := e.w.Market(country); m != nil {
+		if sh := m.Shocks(); sh != nil {
+			if f, ok := sh.RegistrySpike(wk); ok {
+				return f
+			}
+		}
 	}
 	// Random anomalies: ~0.3% of weeks, i.e. roughly 1-2 per decade.
 	s := e.root.Derive(chanSpike, key, uint64(int64(wk)))

@@ -429,9 +429,11 @@ func (r *runner) do(ctx context.Context, plan Request, intended time.Time) {
 	} else {
 		req.Header.Set("Accept-Encoding", "identity")
 	}
+	sentETag := ""
 	if plan.Conditional {
 		if etag, ok := r.etags.Load(key); ok {
-			req.Header.Set("If-None-Match", etag.(string))
+			sentETag = etag.(string)
+			req.Header.Set("If-None-Match", sentETag)
 		}
 	}
 
@@ -452,11 +454,34 @@ func (r *runner) do(ctx context.Context, plan Request, intended time.Time) {
 	}
 
 	failed := readErr != nil || resp.StatusCode >= 400
+	isLive := plan.Route == RouteLive
+	if isLive && resp.StatusCode == http.StatusServiceUnavailable && readErr == nil {
+		// The live route 503s by contract until a stream is attached and
+		// has observed data; a poller arriving before first data is the
+		// normal cold-start case, not a server failure.
+		failed = false
+	}
 	if resp.StatusCode == http.StatusOK && readErr == nil {
+		if isLive && sentETag != "" && resp.Header.Get("ETag") == sentETag {
+			// Revision-ETag contract: the snapshot promises equal tags mean
+			// equal bytes, so a conditional request bearing the current tag
+			// must get 304, never a 200 re-sending the same revision.
+			failed = true
+			rec := r.rec(plan.Route)
+			rec.mu.Lock()
+			rec.stats.Mismatches++
+			rec.mu.Unlock()
+			if r.cfg.Log != nil {
+				r.cfg.Log.Printf("loadgen: live 200 with unchanged ETag %s (%s)", sentETag, plan.Path)
+			}
+		}
 		if etag := resp.Header.Get("ETag"); etag != "" {
 			r.etags.Store(key, etag)
 		}
-		if r.cfg.VerifyBodies {
+		// The live resource mutates as the stream drains, so it is exempt
+		// from the immutable-body verification below; its integrity check
+		// is the revision-ETag contract above.
+		if r.cfg.VerifyBodies && !isLive {
 			sum := sha256.Sum256(body)
 			h := hex.EncodeToString(sum[:])
 			if prev, loaded := r.hashes.LoadOrStore(key, h); loaded && prev.(string) != h {

@@ -8,9 +8,12 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/apnic"
 	"repro/internal/apnicweb"
 	"repro/internal/dates"
+	"repro/internal/itu"
 	"repro/internal/obsv"
+	"repro/internal/stream"
 	"repro/internal/world"
 )
 
@@ -276,5 +279,113 @@ func TestOpenLoopShedAccounting(t *testing.T) {
 	// double-counted. (In-flight/queued dispatches at close are neither.)
 	if completed := res.Requests - res.Dropped; completed != served.Load() {
 		t.Fatalf("ledger says %d completions, server answered %d", completed, served.Load())
+	}
+}
+
+// TestLiveRouteTolerates503 checks the live-poll share against a server
+// with no live stream attached: every live request 503s by contract and
+// none of them may count as an error.
+func TestLiveRouteTolerates503(t *testing.T) {
+	_, ts, model := loadServer(t)
+	model.LiveCountries = []string{"FR", "DE"}
+	res, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		Model:        model,
+		Seed:         11,
+		Mode:         Closed,
+		Concurrency:  4,
+		Requests:     300,
+		VerifyBodies: true,
+		Client:       ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rt := range res.Routes {
+		if rt.Route != RouteLive {
+			continue
+		}
+		found = true
+		if rt.Requests == 0 {
+			t.Fatal("live share produced no requests")
+		}
+		if rt.Errors != 0 {
+			t.Fatalf("%d live errors; contract 503s must be tolerated", rt.Errors)
+		}
+	}
+	if !found {
+		t.Fatal("no live route in the ledger")
+	}
+}
+
+// TestLiveRouteServes checks the live share against an attached, primed
+// estimator: 200s flow, conditional polls revalidate to 304, and the
+// mutable body never trips the immutability verifier.
+func TestLiveRouteServes(t *testing.T) {
+	srv, ts, model := loadServer(t)
+	gen := apnic.New(loadW, itu.New(loadW, 11), 11)
+	est := stream.NewRollingEstimator(gen)
+	last := model.Last
+	for _, c := range gen.DayCounts(last) {
+		est.Observe(stream.Impression{Day: last, CC: c.CC, ASN: c.ASN, Weight: c.Samples})
+	}
+	srv.SetLive(est)
+
+	model.LiveCountries = []string{"FR", "DE", "US"}
+	model.CondFraction = 1 // every repeat is conditional: force the 304 path
+	res, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		Model:        model,
+		Seed:         11,
+		Mode:         Closed,
+		Concurrency:  4,
+		Requests:     400,
+		VerifyBodies: true,
+		Client:       ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range res.Routes {
+		if rt.Route != RouteLive {
+			continue
+		}
+		if rt.Requests == 0 {
+			t.Fatal("live share produced no requests")
+		}
+		if rt.Errors != 0 || rt.Mismatches != 0 {
+			t.Fatalf("live errors=%d mismatches=%d on a conforming server", rt.Errors, rt.Mismatches)
+		}
+		if rt.NotModified == 0 {
+			t.Fatal("no 304s despite a quiet estimator and conditional polls")
+		}
+		return
+	}
+	t.Fatal("no live route in the ledger")
+}
+
+// TestLiveRevisionETagViolation drives the runner against a server that
+// breaks the revision-ETag contract — a 200 re-sending the exact tag the
+// client presented in If-None-Match — and expects a mismatch, since equal
+// tags promise equal bytes and the correct answer was 304.
+func TestLiveRevisionETagViolation(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("ETag", `"live-FR-100-1"`)
+		w.Write([]byte(`{"cc":"FR"}`))
+	}))
+	t.Cleanup(bad.Close)
+
+	r := &runner{cfg: Config{BaseURL: bad.URL, VerifyBodies: true}, client: bad.Client(), recs: map[string]*recorder{}}
+	plan := Request{Route: RouteLive, Path: "/v1/live/FR", Conditional: true}
+	r.do(context.Background(), plan, time.Now()) // primes the ETag cache
+	r.do(context.Background(), plan, time.Now()) // conditional; 200 + same tag = violation
+
+	st := r.recs[RouteLive].finalize()
+	if st.Mismatches != 1 {
+		t.Fatalf("mismatches = %d, want 1", st.Mismatches)
+	}
+	if st.Errors != 1 {
+		t.Fatalf("errors = %d, want the violating response counted once", st.Errors)
 	}
 }

@@ -32,22 +32,25 @@ const (
 	RouteLegacyCSV  = "legacy-csv"  // /v1/reports/{date}.csv
 	RouteDates      = "dates"       // /v1/{dataset}/dates
 	RouteSeries     = "series"      // caller-provided series paths
+	RouteLive       = "live"        // /v1/live/{country} rolling estimates
 	RouteHerd       = "herd"        // thundering-herd cold-day bursts
 )
 
 // routeMix is the cumulative distribution over route kinds, modelled on
-// a dashboard-plus-bulk-export workload: over a quarter of traffic takes
-// the binary frame plane (programmatic bulk consumers, split between the
-// compressed and raw encodings), the bulk fetches full-day CSVs, another
-// slice takes JSON, and a tail hits the legacy alias, the dates index,
-// and per-AS series.
+// a dashboard-plus-bulk-export workload: a small polling share hits the
+// live rolling estimates, over a quarter of traffic takes the binary
+// frame plane (programmatic bulk consumers, split between the compressed
+// and raw encodings), the bulk fetches full-day CSVs, another slice takes
+// JSON, and a tail hits the legacy alias, the dates index, and per-AS
+// series.
 var routeMix = []struct {
 	route string
 	cum   float64
 }{
-	{RouteReportBinz, 0.12},
-	{RouteReportBin, 0.28},
-	{RouteReportCSV, 0.55},
+	{RouteLive, 0.04},
+	{RouteReportBinz, 0.15},
+	{RouteReportBin, 0.30},
+	{RouteReportCSV, 0.56},
 	{RouteReportJSON, 0.75},
 	{RouteLegacyCSV, 0.85},
 	{RouteDates, 0.95},
@@ -73,10 +76,11 @@ type Model struct {
 	first    dates.Date
 	days     int // inclusive day count of [first, last]
 
-	hotHalfLife  float64
-	gzipFraction float64
-	condFraction float64
-	seriesPaths  []string
+	hotHalfLife   float64
+	gzipFraction  float64
+	condFraction  float64
+	seriesPaths   []string
+	liveCountries []string
 }
 
 // ModelConfig parameterizes the access model.
@@ -91,6 +95,10 @@ type ModelConfig struct {
 	GzipFraction   float64  // fraction of requests offering gzip
 	CondFraction   float64  // fraction of repeat requests sent conditionally
 	SeriesPaths    []string // concrete series paths; empty disables RouteSeries
+	// LiveCountries are the country codes the live-poll share cycles
+	// through; empty disables RouteLive (its share folds into report
+	// CSVs, like SeriesPaths).
+	LiveCountries []string
 }
 
 // NewModel builds a deterministic request model for one worker stream.
@@ -113,10 +121,11 @@ func NewModel(seed uint64, cfg ModelConfig) (*Model, error) {
 		datasets:     cfg.Datasets,
 		first:        cfg.First,
 		days:         days,
-		hotHalfLife:  cfg.HotDayHalfLife,
-		gzipFraction: cfg.GzipFraction,
-		condFraction: cfg.CondFraction,
-		seriesPaths:  cfg.SeriesPaths,
+		hotHalfLife:   cfg.HotDayHalfLife,
+		gzipFraction:  cfg.GzipFraction,
+		condFraction:  cfg.CondFraction,
+		seriesPaths:   cfg.SeriesPaths,
+		liveCountries: cfg.LiveCountries,
 	}, nil
 }
 
@@ -144,17 +153,23 @@ func (m *Model) Next() Request {
 		req.Path = "/v1/" + ds + "/dates"
 	case RouteSeries:
 		req.Path = m.seriesPaths[m.rng.Intn(len(m.seriesPaths))]
+	case RouteLive:
+		req.Path = "/v1/live/" + m.liveCountries[m.rng.Intn(len(m.liveCountries))]
 	}
 	return req
 }
 
 // pickRoute samples the route mix, degrading series traffic to report
-// CSVs when no series paths were provided.
+// CSVs when no series paths were provided, and live traffic likewise
+// when no live countries were configured.
 func (m *Model) pickRoute() string {
 	u := m.rng.Float64()
 	for _, e := range routeMix {
 		if u <= e.cum {
 			if e.route == RouteSeries && len(m.seriesPaths) == 0 {
+				return RouteReportCSV
+			}
+			if e.route == RouteLive && len(m.liveCountries) == 0 {
 				return RouteReportCSV
 			}
 			return e.route

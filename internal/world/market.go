@@ -263,25 +263,33 @@ func typeTag(t orgs.Type) string {
 	}
 }
 
-// applyMergers injects the paper's §6 market events: guaranteed European
-// mergers (the Sunrise+UPC and Vodafone+Unitymedia analogues), a
-// probabilistic wave of European and African consolidation, and the
-// Latin-American entry of new access networks after 2019.
+// applyMergers injects the §6 market events: a probabilistic wave of
+// European and African consolidation with scenario overrides pinning
+// specific markets (the paper's guaranteed Sunrise+UPC and
+// Vodafone+Unitymedia events are scenario.Paper()'s CH and DE overrides),
+// and the Latin-American entry of new access networks after 2019.
+//
+// The draw sequence is pinned: within each country's stream the wave year
+// is drawn before any override applies, then the Bool(prob) gate, then
+// mergeOne's victim pick. Overrides for countries outside the European
+// wave run on a dedicated child split, which never advances the parent —
+// both properties keep the paper scenario byte-identical to the old
+// hard-coded code path.
 func (w *World) applyMergers(s *rng.Stream) {
+	forced := w.shocks.Mergers()
 	for _, code := range w.codes {
 		m := w.markets[code]
 		region := m.Country.Subregion
 		cs := s.Split("country/" + code)
 
+		inEuropeanWave := false
 		switch geo.ContinentOf(region) {
 		case geo.Europe:
+			inEuropeanWave = true
 			prob := 0.35
 			year := 2019 + cs.Intn(4)
-			if code == "CH" {
-				prob, year = 1.0, 2020 // Sunrise + UPC
-			}
-			if code == "DE" {
-				prob, year = 1.0, 2019 // Vodafone + Unitymedia
+			if ov, ok := forced[code]; ok {
+				prob, year = ov.Probability, ov.Year
 			}
 			if cs.Bool(prob) {
 				w.mergeOne(m, cs, year)
@@ -289,6 +297,12 @@ func (w *World) applyMergers(s *rng.Stream) {
 		case geo.Africa:
 			if cs.Bool(0.30) {
 				w.mergeOne(m, cs, 2019+cs.Intn(5))
+			}
+		}
+		if ov, ok := forced[code]; ok && !inEuropeanWave {
+			ms := cs.Split("scenario-merger")
+			if ms.Bool(ov.Probability) {
+				w.mergeOne(m, ms, ov.Year)
 			}
 		}
 
@@ -322,6 +336,71 @@ func (w *World) mergeOne(m *Market, s *rng.Stream, year int) {
 	victim := eyeballs[1+s.Intn(3)] // one of ranks 2..4
 	victim.ExitYear = year
 	victim.AbsorbedBy = eyeballs[0].Org.ID
+}
+
+// applyEntrants injects the scenario's new-entrant orgs: one org per
+// event, home-registered, with a market entry in the home country and in
+// each listed presence country. Per-country parameters derive from the
+// entrant's own stream, so scenarios with no entrants (the paper) consume
+// zero draws here.
+func (w *World) applyEntrants(s *rng.Stream) error {
+	for _, ev := range w.shocks.Entrants() {
+		es := s.Split("entrant/" + ev.Name)
+		nASN := 1 + es.Intn(3)
+		asns := make([]uint32, nASN)
+		for i := range asns {
+			asns[i] = w.nextASN
+			w.nextASN++
+		}
+		o := &orgs.Org{
+			ID:   ev.Name,
+			Name: ev.Name,
+			Type: orgs.ConvergedAccess,
+			Home: ev.Home,
+			ASNs: asns,
+		}
+		if err := w.Registry.Add(o); err != nil {
+			return fmt.Errorf("world: scenario entrant %s: %w", ev.Name, err)
+		}
+		presence := append([]string{ev.Home}, ev.Countries...)
+		for _, cc := range presence {
+			m := w.markets[cc]
+			if m == nil {
+				return fmt.Errorf("world: scenario entrant %s: no market for %s", ev.Name, cc)
+			}
+			cs := es.Split("cc/" + cc)
+			asnW := make([]float64, nASN)
+			total := 0.0
+			for i := range asnW {
+				asnW[i] = cs.Range(0.5, 1.5)
+				total += asnW[i]
+			}
+			for i := range asnW {
+				asnW[i] /= total
+			}
+			e := &Entry{
+				Org:            o,
+				Key:            rng.KeyString(o.ID),
+				BaseWeight:     ev.Weight,
+				EntryYear:      ev.EntryYear,
+				MobileShare:    ev.MobileShare,
+				AdFactor:       cs.Range(0.95, 1.05),
+				TrafficPerUser: cs.LogNormal(0, 0.14),
+				ReqPerUser:     80 * cs.LogNormal(0, 0.10),
+				UAPerUser:      cs.Range(1.15, 1.45),
+				BotShare:       cs.Range(0.04, 0.1),
+				CDNAffinity:    clamp01(cs.Range(0.75, 0.95)),
+				ASNWeights:     asnW,
+			}
+			biasSigma := 0.08 + 1.1*math.Pow(1-m.Country.AdReach, 1.3)
+			e.APNICBias = cs.LogNormal(0, biasSigma)
+			m.Entries = append(m.Entries, e)
+			if cc != ev.Home {
+				w.entrantAway = append(w.entrantAway, entrantPresence{country: cc, entry: e})
+			}
+		}
+	}
+	return nil
 }
 
 // buildVPN creates the Norway-style VPN provider whose egress IPs

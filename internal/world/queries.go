@@ -76,7 +76,14 @@ func (w *World) VPNFunnelTotal(d dates.Date) float64 {
 	if frac > 1 {
 		frac = 1
 	}
-	return 0.5e6 + frac*5.0e6
+	base := 0.5e6 + frac*5.0e6
+	// Scenario VPN-adoption surges scale the funnel; the factor is exactly
+	// 1 for the paper scenario, which skips the multiply and keeps the
+	// historical float math bit for bit.
+	if f := w.shocks.VPNFactor(d); f != 1 {
+		base *= f
+	}
+	return base
 }
 
 // VPNOriginShare returns the fraction of funneled VPN users originating
@@ -185,7 +192,7 @@ func (w *World) OrgCount(country string, year int) int {
 // shutdown days while APNIC's 60-day window smooths over them.
 func (w *World) ShutdownFactor(country string, d dates.Date) float64 {
 	m := w.markets[country]
-	if m == nil || m.Country.ShutdownRate == 0 {
+	if m == nil || !m.hasShutdowns() {
 		return 1
 	}
 	return w.shutdownFactor(m, d)
@@ -194,9 +201,36 @@ func (w *World) ShutdownFactor(country string, d dates.Date) float64 {
 // chanShutdown is the world's event-channel derivation key.
 const chanShutdown uint64 = 1
 
+// hasShutdowns reports whether the market can ever see a shutdown day:
+// a baseline rate from the geo registry, or a scenario regime override.
+func (m *Market) hasShutdowns() bool {
+	return m.Country.ShutdownRate != 0 || (m.shocks != nil && m.shocks.HasShutdownRegime())
+}
+
+// shutdownRate resolves the effective per-day shutdown probability: the
+// geo registry's baseline, overridden by whichever scenario regime covers
+// the day.
+func (m *Market) shutdownRate(dayNumber int) float64 {
+	rate := m.Country.ShutdownRate
+	if m.shocks != nil && m.shocks.HasShutdownRegime() {
+		rate = m.shocks.ShutdownRate(dayNumber, rate)
+	}
+	return rate
+}
+
 func (w *World) shutdownFactor(m *Market, d dates.Date) float64 {
-	s := w.events.Derive(chanShutdown, m.key, uint64(int64(d.DayNumber())))
-	if s.Bool(m.Country.ShutdownRate) {
+	dn := d.DayNumber()
+	rate := m.shutdownRate(dn)
+	if rate == 0 {
+		return 1
+	}
+	// The realization stream is keyed by (country, day) alone, not by the
+	// rate: a scenario that raises the rate reuses the same underlying
+	// draws, so baseline shutdown days stay shutdown days and the regime
+	// only adds new ones — and the paper scenario (no overrides)
+	// reproduces the historical realization exactly.
+	s := w.events.Derive(chanShutdown, m.key, uint64(int64(dn)))
+	if s.Bool(rate) {
 		return 0.1
 	}
 	return 1
@@ -206,10 +240,11 @@ func (w *World) shutdownFactor(m *Market, d dates.Date) float64 {
 // ending at d — the suppression a window-averaged measurement like APNIC
 // experiences. The average is identical for every org in the country, so
 // it is cached per (country, day, window); concurrent callers share one
-// singleflight fill.
+// singleflight fill. A window <= 0 has no days to average and returns 1
+// (it used to divide an empty sum and poison callers with NaN).
 func (w *World) ShutdownWindowFactor(country string, d dates.Date, window int) float64 {
 	m := w.markets[country]
-	if m == nil || m.Country.ShutdownRate == 0 {
+	if m == nil || !m.hasShutdowns() || window <= 0 {
 		return 1
 	}
 	return m.winShut.Get(winKey{day: d.DayNumber(), window: window}, func() float64 {

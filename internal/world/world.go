@@ -22,6 +22,7 @@ import (
 	"repro/internal/netdb"
 	"repro/internal/orgs"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/syncx"
 )
 
@@ -35,6 +36,12 @@ type Config struct {
 	// is replaced by the paper's range, 2013 and 2024.
 	FirstYear int
 	LastYear  int
+
+	// Scenario is the declarative event set applied at construction time.
+	// nil selects scenario.Paper() — the byte-pinned baseline encoding
+	// exactly the events the source paper documents, so every existing
+	// call site builds the same world it always did.
+	Scenario *scenario.Scenario
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +119,11 @@ type Market struct {
 	key   uint64            // precomputed country derivation key
 	byOrg map[string]*Entry // org ID → entry index for O(1) Entry lookups
 
+	// shocks is the country's compiled scenario view (nil when the
+	// scenario leaves the country untouched) — the seam the measurement
+	// packages consult in their hot loops.
+	shocks *scenario.CountryShocks
+
 	// active caches ActiveEntries per year (activity only changes at year
 	// granularity); winShut caches ShutdownWindowFactor per (day, window).
 	// Both are singleflight so concurrent runners share one fill.
@@ -124,6 +136,11 @@ type winKey struct{ day, window int }
 // Key returns the market's precomputed country derivation key.
 func (m *Market) Key() uint64 { return m.key }
 
+// Shocks returns the country's compiled scenario events, or nil when the
+// world's scenario does not touch this country. Generators check the nil
+// fast path once per call, so unaffected countries pay nothing.
+func (m *Market) Shocks() *scenario.CountryShocks { return m.shocks }
+
 // World is the generated ground truth.
 type World struct {
 	Cfg       Config
@@ -135,6 +152,15 @@ type World struct {
 	markets map[string]*Market
 	codes   []string // sorted country codes with markets
 	nextASN uint32   // global ASN assignment cursor
+
+	// shocks is the compiled scenario the world was built under; never
+	// nil (a nil Config.Scenario compiles the paper baseline).
+	shocks *scenario.Compiled
+
+	// entrantAway lists scenario-entrant market entries outside their
+	// org's home country, in deterministic order, for address allocation:
+	// their prefixes are registered at home while their users are local.
+	entrantAway []entrantPresence
 
 	events *rng.Stream // real-world event realizations (shutdown days)
 
@@ -152,6 +178,10 @@ type World struct {
 // deterministic in cfg.Seed.
 func Build(cfg Config) (*World, error) {
 	cfg = cfg.withDefaults()
+	shocks, err := scenario.Compile(cfg.Scenario)
+	if err != nil {
+		return nil, fmt.Errorf("world: %w", err)
+	}
 	root := rng.New(cfg.Seed)
 	w := &World{
 		Cfg:       cfg,
@@ -159,6 +189,7 @@ func Build(cfg Config) (*World, error) {
 		DB:        netdb.NewDB(),
 		markets:   map[string]*Market{},
 		vpnOrigin: map[string]float64{},
+		shocks:    shocks,
 	}
 	alloc := netdb.NewAllocator()
 	w.nextASN = 1000
@@ -169,6 +200,7 @@ func Build(cfg Config) (*World, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.shocks = shocks.Country(c.Code)
 		w.markets[c.Code] = m
 		w.codes = append(w.codes, c.Code)
 	}
@@ -176,6 +208,11 @@ func Build(cfg Config) (*World, error) {
 
 	w.applyMergers(root.Split("mergers"))
 	w.buildVPN(root.Split("vpn"))
+	// Scenario entrants draw from their own split, so the paper scenario
+	// (no entrants, zero draws) leaves every other stream untouched.
+	if err := w.applyEntrants(root.Split("scenario/entrants")); err != nil {
+		return nil, err
+	}
 
 	// Precompute yearly share tables (address sizing depends on them) and
 	// the per-market indexes: the org→entry map behind Entry lookups and
@@ -251,6 +288,13 @@ func (w *World) Years() (first, last int) {
 	return w.Cfg.FirstYear, w.Cfg.LastYear
 }
 
+// Scenario returns the compiled scenario the world was built under;
+// never nil.
+func (w *World) Scenario() *scenario.Compiled { return w.shocks }
+
+// ScenarioName returns the name of the world's scenario.
+func (w *World) ScenarioName() string { return w.shocks.Name() }
+
 // allocateAddresses hands out a prefix per ASN and announces it with both
 // geolocation views. VPN egress blocks are handled in buildVPN.
 func (w *World) allocateAddresses(alloc *netdb.Allocator) error {
@@ -287,6 +331,22 @@ func (w *World) allocateAddresses(alloc *netdb.Allocator) error {
 			}
 		}
 	}
+	// Scenario-entrant away markets: like VPN egress blocks, the prefix
+	// registers to the org's home country while the users are local —
+	// the Starlink-style geolocation bias.
+	for _, pr := range w.entrantAway {
+		p, err := alloc.Alloc(18)
+		if err != nil {
+			return err
+		}
+		if err := w.DB.Announce(p, netdb.Route{
+			ASN:               pr.entry.Org.ASNs[0],
+			RegisteredCountry: pr.entry.Org.Home,
+			TrueCountry:       pr.country,
+		}); err != nil {
+			return err
+		}
+	}
 	// VPN egress blocks: registered in the hub, users elsewhere.
 	if w.VPNOrgID != "" {
 		vpnOrg, _ := w.Registry.ByID(w.VPNOrgID)
@@ -319,6 +379,12 @@ func (w *World) peakUsers(m *Market, e *Entry) float64 {
 		}
 	}
 	return peak
+}
+
+// entrantPresence is one scenario-entrant entry outside its home market.
+type entrantPresence struct {
+	country string
+	entry   *Entry
 }
 
 func sortedKeys(m map[string]float64) []string {
